@@ -1,0 +1,91 @@
+"""Figure 4(b): query-evaluation loss over time (paper §5.3).
+
+Both evaluators consume the *same* sample sequence (identical seeds);
+only query-execution strategy differs.  The paper's headline: "the
+efficient evaluator nearly zeroes the error before the naive approach
+can even half the error" (on 1M tuples; default repro scale 25k).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    QUERY1,
+    fmt_seconds,
+    make_task,
+    print_header,
+    print_series,
+    reference_marginals,
+    run_with_trace,
+    scale_factor,
+)
+
+NUM_TOKENS = 25_000
+STEPS_PER_SAMPLE = 100
+NUM_SAMPLES = 100
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_fig4b_loss_over_time(benchmark):
+    def experiment():
+        task = make_task(
+            NUM_TOKENS * scale_factor(), steps_per_sample=STEPS_PER_SAMPLE
+        )
+        truths = reference_marginals(
+            task, [QUERY1], num_chains=2, samples_per_chain=120
+        )
+        traces = {}
+        for kind in ("naive", "materialized"):
+            evaluator = task.make_instance(77).evaluator([QUERY1], kind)
+            traces[kind] = run_with_trace(evaluator, truths, NUM_SAMPLES)
+        return {
+            kind: trace.normalized_trace(0) for kind, trace in traces.items()
+        }
+
+    normalized = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print_header("Figure 4(b): normalized loss vs time, Query 1")
+    for kind, points in normalized.items():
+        sampled = points[:: max(1, len(points) // 12)]
+        print_series(f"{kind:12s}", [(round(t, 3), round(l, 4)) for t, l in sampled])
+
+    naive = normalized["naive"]
+    materialized = normalized["materialized"]
+
+    def time_to(points, target):
+        for elapsed, loss in points:
+            if loss <= target:
+                return elapsed
+        return float("inf")
+
+    def loss_at(points, when):
+        value = points[0][1]
+        for elapsed, loss in points:
+            if elapsed > when:
+                break
+            value = loss
+        return value
+
+    naive_half_time = time_to(naive, 0.5)
+    mat_loss_then = loss_at(materialized, naive_half_time)
+    print(
+        f"naive halves its loss at {fmt_seconds(naive_half_time)}; "
+        f"materialized loss at that moment: {mat_loss_then:.3f} of peak"
+    )
+    print(
+        "Paper: the materialized evaluator nearly zeroes the error before "
+        "the naive evaluator halves it."
+    )
+    benchmark.extra_info["naive"] = naive
+    benchmark.extra_info["materialized"] = materialized
+
+    # Shape assertions: same sample count, materialized finishes sooner,
+    # and is strictly ahead at the moment naive halves its loss.
+    assert naive[-1][0] > materialized[-1][0], (
+        "identical samples must take longer for the naive evaluator"
+    )
+    assert mat_loss_then <= 0.5, (
+        "materialized should already be at/below half loss when naive "
+        "gets there"
+    )

@@ -1,0 +1,58 @@
+"""Ablation: MH walk-step cost is constant in database size (§5.3).
+
+"For the skip-chain CRF ... the time to perform an MCMC walk-step is
+constant with respect to the size of the database" — because a proposal
+touching one variable evaluates only the constant number of factors
+adjacent to it (Appendix 9.2).  This bench times walk-steps at two
+database sizes an order of magnitude apart and asserts near-constancy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import make_task, scale_factor
+
+SIZES = [2_000, 40_000]
+STEPS = 2_000
+
+
+@pytest.mark.parametrize("num_tokens", [s * scale_factor() for s in SIZES])
+@pytest.mark.benchmark(group="step-cost")
+def test_step_cost(benchmark, num_tokens):
+    task = make_task(num_tokens, steps_per_sample=STEPS)
+    instance = task.make_instance(1)
+
+    def run_steps():
+        instance.kernel.run(STEPS)
+
+    benchmark.pedantic(run_steps, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["tokens"] = num_tokens
+    benchmark.extra_info["steps"] = STEPS
+
+
+@pytest.mark.benchmark(group="step-cost-ratio")
+def test_step_cost_ratio_is_near_constant(benchmark):
+    """Direct assertion of the §5.3 claim (20x the data, ~same step cost)."""
+    import time
+
+    def experiment():
+        times = {}
+        for num_tokens in [s * scale_factor() for s in SIZES]:
+            task = make_task(num_tokens, steps_per_sample=STEPS)
+            instance = task.make_instance(1)
+            instance.kernel.run(500)  # warm caches
+            started = time.perf_counter()
+            instance.kernel.run(STEPS)
+            times[num_tokens] = (time.perf_counter() - started) / STEPS
+        return times
+
+    times = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    small, large = [times[s * scale_factor()] for s in SIZES]
+    print(
+        f"\nper-step: {small * 1e6:.1f}us @ {SIZES[0] * scale_factor()} tokens, "
+        f"{large * 1e6:.1f}us @ {SIZES[1] * scale_factor()} tokens "
+        f"(ratio {large / small:.2f}x for {SIZES[1] // SIZES[0]}x the data)"
+    )
+    benchmark.extra_info["per_step_seconds"] = {str(k): v for k, v in times.items()}
+    assert large / small < 2.5, "walk-step cost must not scale with DB size"

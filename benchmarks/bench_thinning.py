@@ -1,0 +1,76 @@
+"""Ablation: the thinning interval k (§4.1).
+
+"It is prudent to increase independence by collecting tuple counts only
+every k samples ... choosing k is an open and interesting domain-
+specific problem" — and §4.1 notes the balance between sample
+dependency and per-sample query cost.  This bench fixes a total
+walk-step budget and varies k: small k spends time on query evaluations
+of near-duplicate worlds; large k wastes well-mixed samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    QUERY1,
+    fmt_seconds,
+    make_task,
+    print_header,
+    print_table,
+    reference_marginals,
+    scale_factor,
+)
+from repro.core import squared_error
+from repro.ie.ner import NerTask
+
+NUM_TOKENS = 5_000
+TOTAL_STEPS = 60_000
+K_VALUES = [50, 200, 1000, 5000]
+
+
+@pytest.mark.benchmark(group="thinning")
+def test_thinning_tradeoff(benchmark):
+    def experiment():
+        base_task = make_task(
+            NUM_TOKENS * scale_factor(), steps_per_sample=200
+        )
+        truth = reference_marginals(
+            base_task, [QUERY1], num_chains=2, samples_per_chain=400
+        )[0]
+        rows = []
+        for k in K_VALUES:
+            task = make_task(NUM_TOKENS * scale_factor(), steps_per_sample=k)
+            evaluator = task.make_instance(41).evaluator([QUERY1], "naive")
+            result = evaluator.run(TOTAL_STEPS // k)
+            rows.append(
+                {
+                    "k": k,
+                    "samples": TOTAL_STEPS // k,
+                    "elapsed": result.elapsed,
+                    "loss": squared_error(
+                        result.marginals.probabilities(), truth
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print_header("Thinning interval k: fixed walk budget, naive evaluator")
+    print_table(
+        ["k", "samples", "wall clock", "squared loss vs reference"],
+        [
+            (r["k"], r["samples"], fmt_seconds(r["elapsed"]), f'{r["loss"]:.4f}')
+            for r in rows
+        ],
+    )
+    print(
+        "Small k: many query executions on correlated worlds (cost without "
+        "information); large k: few samples from the same walk.  The paper "
+        "used k=10,000 at 10M tuples."
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Small k costs strictly more wall clock for the same walk budget.
+    assert rows[0]["elapsed"] > rows[-1]["elapsed"]

@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the paper-style series each bench prints (they are also
+attached to the pytest-benchmark JSON via ``extra_info``).  Set
+``REPRO_SCALE=<int>`` to enlarge all workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are deterministic end-to-end experiments; one round is
+    # the meaningful unit (pedantic mode is used inside each bench).
+    pass
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.bench import scale_factor
+
+    return scale_factor()

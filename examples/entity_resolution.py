@@ -1,0 +1,69 @@
+"""Entity resolution with cluster variables (paper Fig. 1, bottom row).
+
+Mentions of people ("John Smith", "Smith", "J. Smith", ...) are
+clustered into entities.  The factor graph's structure depends on the
+clustering itself; constraint-preserving move proposals keep every
+sampled world a valid partition — no transitivity factors needed.
+The query answered here is label-invariant: the marginal probability
+that two mentions co-refer.
+
+Run:  python examples/entity_resolution.py
+"""
+
+from repro.ie.coref import CorefPipeline, default_coref_weights, pairwise_f1
+
+
+def main() -> None:
+    # Softer weights than the decode default: a flatter posterior keeps
+    # genuinely ambiguous pairs at mid-range probabilities.
+    pipeline = CorefPipeline(
+        num_entities=10,
+        mentions_per_entity=4,
+        seed=3,
+        steps_per_sample=400,
+        weights=default_coref_weights(cohesion=0.8, repulsion_scale=0.5),
+    )
+    model = pipeline.model
+    print(f"{len(model.variables)} mentions of 10 true entities")
+    print(f"initial partition: {len(model.partition())} singleton clusters")
+    gold = model.gold_partition()
+
+    estimator = pipeline.coreference_marginals(num_samples=80)
+    print(
+        f"\nafter sampling: {len(model.partition())} clusters, "
+        f"pairwise F1 vs gold = "
+        f"{pairwise_f1(model.partition(), gold):.3f}"
+    )
+
+    print("\nmost confident co-reference pairs, Pr[i ~ j]:")
+    strings = {v.name[1][0]: model.string_of(v) for v in model.variables}
+
+    def show(i, j, probability):
+        print(
+            f"  #{i:<3} {strings[i]:<15} ~ #{j:<3} {strings[j]:<15} "
+            f"{probability:.3f}"
+        )
+
+    for (i, j), probability in estimator.top(8):
+        show(i, j, probability)
+
+    # Ambiguity shows up as mid-range probabilities: mentions sharing a
+    # surname but not clearly the same person.
+    uncertain = [
+        ((i, j), p)
+        for (i, j), p in estimator.probabilities().items()
+        if 0.2 < p < 0.8
+    ]
+    print(f"\n{len(uncertain)} genuinely uncertain pairs (0.2 < p < 0.8), e.g.:")
+    for (i, j), probability in sorted(uncertain, key=lambda kv: -kv[1])[:5]:
+        show(i, j, probability)
+
+    pipeline.map_decode(20_000)
+    print(
+        f"\nafter annealed MAP decode: pairwise F1 = "
+        f"{pairwise_f1(model.partition(), gold):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — Scalable Probabilistic Databases with Factor Graphs and MCMC.
+
+A from-scratch reproduction of Wick, McCallum & Miklau (VLDB 2010).
+The package provides:
+
+* :mod:`repro.db` — a relational engine with incrementally maintained
+  materialized views (the DBMS substrate);
+* :mod:`repro.fg` — factor graphs: variables, log-linear factors and
+  relational factor templates;
+* :mod:`repro.mcmc` — Metropolis-Hastings inference over the single
+  stored possible world;
+* :mod:`repro.learn` — SampleRank parameter estimation;
+* :mod:`repro.core` — the paper's contribution: MCMC query evaluation,
+  naive (Algorithm 3) and view-maintenance based (Algorithm 1);
+* :mod:`repro.ie` — the two applications of the paper: named entity
+  recognition with a skip-chain CRF, and entity resolution.
+
+Quickstart::
+
+    from repro.ie.ner import NerPipeline
+
+    pipeline = NerPipeline.small(seed=7)
+    result = pipeline.evaluate_query(
+        "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", num_samples=50
+    )
+    for row, probability in result.top(10):
+        print(row, probability)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

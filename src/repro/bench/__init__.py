@@ -1,0 +1,32 @@
+"""Benchmark support: paper queries, scaling, reporting helpers."""
+
+from repro.bench.harness import (
+    fig4a_sizes,
+    make_task,
+    reference_marginals,
+    run_with_trace,
+    scale_factor,
+)
+from repro.bench.reporting import (
+    fmt_seconds,
+    print_header,
+    print_series,
+    print_table,
+)
+from repro.bench.workloads import QUERY1, QUERY2, QUERY3, QUERY4
+
+__all__ = [
+    "QUERY1",
+    "QUERY2",
+    "QUERY3",
+    "QUERY4",
+    "fig4a_sizes",
+    "fmt_seconds",
+    "make_task",
+    "print_header",
+    "print_series",
+    "print_table",
+    "reference_marginals",
+    "run_with_trace",
+    "scale_factor",
+]

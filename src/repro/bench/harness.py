@@ -1,0 +1,147 @@
+"""Shared benchmark infrastructure.
+
+Scale: the paper's testbed sweeps 10k → 10M tuples with k = 10,000
+MH walk-steps between samples.  A pure-Python sampler trades absolute
+throughput for portability, so default benchmark sizes are reduced
+while preserving every *relative* claim (who wins, crossover with DB
+size, orders of magnitude at the top end).  Set ``REPRO_SCALE`` (an
+integer multiplier, default 1) to enlarge every workload; EXPERIMENTS.md
+records the scale each result was taken at.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.core import LossTrace, estimate_ground_truth
+from repro.core.evaluator import QueryEvaluator
+from repro.ie.ner import NerTask
+
+__all__ = [
+    "scale_factor",
+    "fig4a_sizes",
+    "make_task",
+    "reference_marginals",
+    "run_with_trace",
+]
+
+
+def scale_factor() -> int:
+    """The REPRO_SCALE multiplier (≥1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def fig4a_sizes() -> List[int]:
+    """Corpus sizes for the Fig. 4a sweep (log scale, 3 points/decade
+    apart like the paper's 10k → 10M)."""
+    base = [1_000, 5_000, 25_000]
+    return [size * scale_factor() for size in base]
+
+
+def make_task(
+    num_tokens: int,
+    corpus_seed: int = 0,
+    steps_per_sample: int = 500,
+    **kwargs,
+) -> NerTask:
+    """The standard benchmark NER task: fitted weights (deterministic),
+    document-batch proposal schedule, skip-chain model."""
+    return NerTask(
+        num_tokens,
+        corpus_seed=corpus_seed,
+        steps_per_sample=steps_per_sample,
+        weight_mode=kwargs.pop("weight_mode", "fitted"),
+        **kwargs,
+    )
+
+
+def reference_marginals(
+    task: NerTask,
+    queries: Sequence[str],
+    num_chains: int = 2,
+    samples_per_chain: int = 60,
+    base_seed: int = 9_000,
+    burn_in: int | None = None,
+) -> List[Dict[tuple, float]]:
+    """Ground-truth protocol (§5.2): pooled long chains, with seeds
+    disjoint from the measured runs and the initial transient discarded
+    (default burn-in: half the recorded samples)."""
+    if burn_in is None:
+        burn_in = samples_per_chain // 2
+    return estimate_ground_truth(
+        task.chain_factory(base_seed),
+        queries,
+        num_chains,
+        samples_per_chain,
+        burn_in=burn_in,
+    )
+
+
+def run_with_trace(
+    evaluator: QueryEvaluator,
+    truths: Sequence[Dict[tuple, float]],
+    num_samples: int,
+) -> LossTrace:
+    """Run an evaluator while recording loss-vs-time for each query."""
+    trace = LossTrace(truths)
+    evaluator.run(num_samples, on_sample=trace.hook)
+    return trace
+
+
+def measure_time_to_fraction(
+    task: NerTask,
+    query: str,
+    kind: str,
+    chain_seed: int,
+    truth: Dict[tuple, float],
+    fraction: float = 0.5,
+    max_samples: int = 6000,
+    chunk: int = 50,
+) -> Dict[str, float]:
+    """Adaptive version of the paper's Fig. 4a measurement.
+
+    Runs the evaluator in chunks until the squared error versus
+    ``truth`` falls to ``fraction`` of the initial single-sample
+    approximation's loss; returns timing plus the sample count used.
+    Raises :class:`EvaluationError` if ``max_samples`` is exhausted
+    first (enlarge the budget).
+    """
+    import time as _time
+
+    from repro.errors import EvaluationError
+    from repro.core.metrics import squared_error
+
+    instance = task.make_instance(chain_seed)
+    evaluator = instance.evaluator([query], kind)
+
+    elapsed = 0.0
+    started = _time.perf_counter()
+    evaluator.run(0, include_initial_sample=True)
+    elapsed += _time.perf_counter() - started
+    initial = squared_error(evaluator.estimators[0].probabilities(), truth)
+    target = initial * fraction
+    samples = 0
+    loss = initial
+    while samples < max_samples:
+        batch = min(chunk, max_samples - samples)
+        started = _time.perf_counter()
+        evaluator.run(batch, include_initial_sample=False)
+        elapsed += _time.perf_counter() - started
+        samples += batch
+        loss = squared_error(evaluator.estimators[0].probabilities(), truth)
+        if loss <= target:
+            return {
+                "seconds": elapsed,
+                "samples": samples,
+                "per_sample": elapsed / samples,
+                "initial_loss": initial,
+                "final_loss": loss,
+            }
+    raise EvaluationError(
+        f"loss did not reach {fraction:.0%} of initial within {max_samples} "
+        f"samples (initial {initial:.4g}, final {loss:.4g})"
+    )

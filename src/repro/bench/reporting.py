@@ -1,0 +1,48 @@
+"""Plain-text reporting for benchmark output.
+
+Every figure-reproduction bench prints the same rows/series the paper
+plots, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+experiment log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["print_header", "print_table", "print_series", "fmt_seconds"]
+
+
+def print_header(title: str) -> None:
+    bar = "=" * max(60, len(title) + 4)
+    print(f"\n{bar}\n  {title}\n{bar}")
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def print_series(name: str, points: Iterable[tuple], fmt: str = "{:.4g}") -> None:
+    formatted = ", ".join(
+        "(" + ", ".join(fmt.format(v) if isinstance(v, float) else str(v) for v in p) + ")"
+        for p in points
+    )
+    print(f"{name}: [{formatted}]")
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}min"

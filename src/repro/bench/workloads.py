@@ -1,0 +1,29 @@
+"""The paper's evaluation queries, verbatim (§5.3–§5.5, Appendix 9.1).
+
+Query 1 — non-selective selection, scales linearly with tuples (no
+index on STRING, by design).  Query 2 — global aggregate.  Query 3 —
+correlated-subquery document filter.  Query 4 — self-join retrieving
+person mentions co-occurring with "Boston" as an organization.
+"""
+
+from __future__ import annotations
+
+__all__ = ["QUERY1", "QUERY2", "QUERY3", "QUERY4"]
+
+QUERY1 = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+
+QUERY2 = "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'"
+
+QUERY3 = (
+    "SELECT T.doc_id FROM TOKEN T WHERE "
+    "(SELECT COUNT(*) FROM TOKEN T1 "
+    " WHERE T1.label='B-PER' AND T.doc_id=T1.doc_id) = "
+    "(SELECT COUNT(*) FROM TOKEN T1 "
+    " WHERE T1.label='B-ORG' AND T.doc_id=T1.doc_id)"
+)
+
+QUERY4 = (
+    "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 "
+    "WHERE T1.STRING='Boston' AND T1.LABEL='B-ORG' "
+    "AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'"
+)

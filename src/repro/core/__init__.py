@@ -1,0 +1,43 @@
+"""MCMC query evaluation — the paper's primary contribution.
+
+Estimate ``Pr[t ∈ Q(W)]`` for every tuple in a query's answer by
+sampling possible worlds with Metropolis-Hastings and counting answer
+membership (Eq. 5):
+
+* :class:`NaiveEvaluator` — Algorithm 3: full query per sample;
+* :class:`MaterializedEvaluator` — Algorithm 1: one full query, then
+  incremental view maintenance per sample;
+* :class:`ParallelEvaluator` — §5.4: pooled independent chains;
+* :class:`MarginalEstimator`, :class:`LossTrace`, metrics — the
+  measurement apparatus of §5.
+"""
+
+from repro.core.anytime import LossTrace
+from repro.core.evaluator import EvaluationResult, QueryEvaluator
+from repro.core.ground_truth import estimate_ground_truth
+from repro.core.marginals import MarginalEstimator
+from repro.core.materialized import MaterializedEvaluator
+from repro.core.metrics import (
+    normalize_series,
+    squared_error,
+    time_to_fraction,
+    time_to_half,
+)
+from repro.core.naive import NaiveEvaluator
+from repro.core.parallel import ChainFactory, ParallelEvaluator
+
+__all__ = [
+    "ChainFactory",
+    "EvaluationResult",
+    "LossTrace",
+    "MarginalEstimator",
+    "MaterializedEvaluator",
+    "NaiveEvaluator",
+    "ParallelEvaluator",
+    "QueryEvaluator",
+    "estimate_ground_truth",
+    "normalize_series",
+    "squared_error",
+    "time_to_fraction",
+    "time_to_half",
+]

@@ -1,0 +1,56 @@
+"""Any-time evaluation traces: loss as a function of wall-clock time.
+
+The paper's Figs. 4b and 6 plot (normalized) squared error against
+time, demonstrating the any-time property: applications can stop early
+for coarse estimates or keep sampling for fidelity.  A
+:class:`LossTrace` is the ``on_sample`` hook that produces such plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.marginals import MarginalEstimator
+from repro.core.metrics import normalize_series, squared_error, time_to_fraction
+
+__all__ = ["LossTrace"]
+
+Marginals = Dict[tuple, float]
+
+
+class LossTrace:
+    """Records ``(elapsed, loss)`` per sample against reference truths.
+
+    Pass :meth:`hook` as the ``on_sample`` argument of
+    :meth:`repro.core.evaluator.QueryEvaluator.run`.
+    """
+
+    def __init__(self, truths: Sequence[Marginals]):
+        self.truths = list(truths)
+        self._points: List[List[Tuple[float, float]]] = [[] for _ in self.truths]
+
+    def hook(
+        self, index: int, elapsed: float, estimators: List[MarginalEstimator]
+    ) -> None:
+        for i, (truth, estimator) in enumerate(zip(self.truths, estimators)):
+            loss = squared_error(estimator.probabilities(), truth)
+            self._points[i].append((elapsed, loss))
+
+    # ------------------------------------------------------------------
+    def trace(self, query_index: int = 0) -> List[Tuple[float, float]]:
+        """The raw ``(elapsed_seconds, loss)`` series for one query."""
+        return list(self._points[query_index])
+
+    def normalized_trace(self, query_index: int = 0) -> List[Tuple[float, float]]:
+        """Loss scaled so the series' maximum is 1 (paper §5.2)."""
+        points = self._points[query_index]
+        losses = normalize_series([loss for _, loss in points])
+        return [(elapsed, loss) for (elapsed, _), loss in zip(points, losses)]
+
+    def time_to_fraction(self, fraction: float, query_index: int = 0) -> float:
+        """Earliest elapsed time at which the loss fell to ``fraction``
+        of its initial value (0.5 = the paper's Fig. 4a metric)."""
+        return time_to_fraction(self._points[query_index], fraction)
+
+    def final_loss(self, query_index: int = 0) -> float:
+        return self._points[query_index][-1][1]

@@ -1,0 +1,126 @@
+"""The common frame of both query evaluators.
+
+An evaluator owns a database (one possible world), a Markov chain that
+mutates it, and one or more compiled queries.  Subclasses differ only
+in **how the answer of each query is obtained per sample**:
+
+* :class:`~repro.core.naive.NaiveEvaluator` re-executes the full query
+  (Algorithm 3);
+* :class:`~repro.core.materialized.MaterializedEvaluator` folds the
+  world delta into materialized views (Algorithm 1).
+
+Both see identical sample sequences when given identical seeds, which
+is how the paper compares them (§5.3: "the two approaches generate the
+same set of samples").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence
+
+from repro.db.database import Database
+from repro.db.multiset import Multiset
+from repro.db.ra.ast import PlanNode
+from repro.db.sql.compiler import plan_query
+from repro.db.view import strip_presentation
+from repro.errors import EvaluationError
+from repro.mcmc.chain import MarkovChain
+from repro.core.marginals import MarginalEstimator
+
+__all__ = ["QueryEvaluator", "EvaluationResult"]
+
+SampleHook = Callable[[int, float, List[MarginalEstimator]], None]
+
+
+class EvaluationResult:
+    """Marginal estimates for each evaluated query."""
+
+    def __init__(self, estimators: List[MarginalEstimator], elapsed: float):
+        self.estimators = estimators
+        self.elapsed = elapsed
+
+    def __getitem__(self, index: int) -> MarginalEstimator:
+        return self.estimators[index]
+
+    def __len__(self) -> int:
+        return len(self.estimators)
+
+    @property
+    def marginals(self) -> MarginalEstimator:
+        """The first (often only) query's estimator."""
+        return self.estimators[0]
+
+
+class QueryEvaluator:
+    """Base class wiring a chain to a set of queries."""
+
+    def __init__(
+        self,
+        db: Database,
+        chain: MarkovChain,
+        queries: Sequence[str | PlanNode],
+    ):
+        if not queries:
+            raise EvaluationError("need at least one query")
+        self.db = db
+        self.chain = chain
+        self.plans: List[PlanNode] = [
+            strip_presentation(q if isinstance(q, PlanNode) else plan_query(db, q))
+            for q in queries
+        ]
+        self.estimators: List[MarginalEstimator] = [
+            MarginalEstimator() for _ in self.plans
+        ]
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        """Called once before sampling starts."""
+
+    def _answers(self) -> List[Multiset]:
+        """Current answers of all queries for the present world."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_samples: int,
+        on_sample: SampleHook | None = None,
+        include_initial_sample: bool = True,
+        burn_in: int = 0,
+    ) -> EvaluationResult:
+        """Estimate marginals from ``num_samples`` thinned samples.
+
+        ``include_initial_sample`` counts the initial world's answer as
+        the first sample (the "single-sample deterministic
+        approximation" the paper measures loss against); the chain then
+        contributes ``num_samples`` further samples.  ``burn_in``
+        discards that many thinned samples *before* recording starts —
+        the chain advances but no counts (and no query work) happen.
+        ``on_sample`` is invoked after every recorded sample with
+        ``(sample_index, elapsed_seconds, estimators)`` — the any-time
+        hook used for loss-over-time traces.
+        """
+        for _ in range(burn_in):
+            self.chain.advance()
+        started = time.perf_counter()
+        self._prepare()
+        index = 0
+        if include_initial_sample:
+            self._record_all()
+            if on_sample is not None:
+                on_sample(index, time.perf_counter() - started, self.estimators)
+            index += 1
+        for _ in range(num_samples):
+            self.chain.advance()
+            self._record_all()
+            if on_sample is not None:
+                on_sample(index, time.perf_counter() - started, self.estimators)
+            index += 1
+        return EvaluationResult(self.estimators, time.perf_counter() - started)
+
+    def _record_all(self) -> None:
+        for estimator, answer in zip(self.estimators, self._answers()):
+            estimator.record(answer)

@@ -1,0 +1,115 @@
+"""Marginal probability estimation from sampled query answers.
+
+The evaluation problem (paper §4, Eq. 4/5): return every tuple that
+appears in the answer of ``Q`` over some possible world, together with
+``Pr[t ∈ Q(W)]``, estimated as the fraction of sampled worlds whose
+answer contains ``t``.
+
+:class:`MarginalEstimator` implements the count vector ``m`` and
+normalizer ``z`` of Algorithms 1 and 3; a tuple is counted once per
+sample when its multiset count is positive (``count(m_i) > 0`` — the
+multiset-semantics condition of §4.2's Remark).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.db.multiset import Multiset
+from repro.errors import EvaluationError
+
+__all__ = ["MarginalEstimator"]
+
+Row = Tuple[Any, ...]
+
+
+class MarginalEstimator:
+    """Empirical tuple marginals over thinned MCMC samples."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Row, int] = {}
+        self._samples = 0
+
+    # ------------------------------------------------------------------
+    def record(self, answer: Multiset) -> None:
+        """Count one sampled world's answer (lines 5-7 of Algorithm 1 /
+        Algorithm 3: ``m_i += 1`` for tuples in the answer, ``z += 1``)."""
+        counts = self._counts
+        for row in answer.support():
+            counts[row] = counts.get(row, 0) + 1
+        self._samples += 1
+
+    def merge(self, other: "MarginalEstimator") -> None:
+        """Pool counts from an independent chain (parallelization §5.4)."""
+        for row, count in other._counts.items():
+            self._counts[row] = self._counts.get(row, 0) + count
+        self._samples += other._samples
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return self._samples
+
+    def probability(self, row: Row) -> float:
+        """``Pr[row ∈ Q(W)]`` under the empirical distribution."""
+        if self._samples == 0:
+            raise EvaluationError("no samples recorded yet")
+        return self._counts.get(row, 0) / self._samples
+
+    def probabilities(self) -> Dict[Row, float]:
+        """All rows ever seen with their probabilities (``(1/z) m``)."""
+        if self._samples == 0:
+            raise EvaluationError("no samples recorded yet")
+        z = self._samples
+        return {row: count / z for row, count in self._counts.items()}
+
+    def support(self) -> Iterator[Row]:
+        """Rows with nonzero estimated probability."""
+        return iter(self._counts)
+
+    def top(self, n: int) -> List[Tuple[Row, float]]:
+        """The ``n`` most probable rows, ties broken by row order."""
+        ranked = sorted(
+            self.probabilities().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[:n]
+
+    def deterministic_rows(self) -> List[Row]:
+        """Rows in *every* sampled answer (probability 1, §4 Eq. 4)."""
+        return [r for r, c in self._counts.items() if c == self._samples]
+
+    def expected_value(self, position: int = 0) -> float:
+        """Mean of a numeric answer column weighted by probability.
+
+        For single-row-per-world aggregate answers (the paper's Query
+        2) this is the posterior mean of the aggregate.
+        """
+        if self._samples == 0:
+            raise EvaluationError("no samples recorded yet")
+        total = 0.0
+        for row, count in self._counts.items():
+            value = row[position]
+            if not isinstance(value, (int, float)):
+                raise EvaluationError(f"column {position} is not numeric: {value!r}")
+            total += value * count
+        return total / self._samples
+
+    def as_histogram(self, position: int = 0) -> Dict[Any, float]:
+        """Probability mass per distinct value of one answer column —
+        the paper's Fig. 7 (distribution of the Query 2 count)."""
+        if self._samples == 0:
+            raise EvaluationError("no samples recorded yet")
+        out: Dict[Any, float] = {}
+        for row, count in self._counts.items():
+            key = row[position]
+            out[key] = out.get(key, 0.0) + count / self._samples
+        return out
+
+    def copy(self) -> "MarginalEstimator":
+        out = MarginalEstimator()
+        out._counts = dict(self._counts)
+        out._samples = self._samples
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarginalEstimator({len(self._counts)} rows, z={self._samples})"

@@ -1,0 +1,79 @@
+"""Loss metrics for evaluating sampler accuracy.
+
+The paper measures *squared-error loss to the ground-truth query
+answer* ("the usual element-wise squared loss", §5.2), sometimes
+normalized so the largest point on a plot is 1, and summarizes
+scalability by the *time taken to halve* the loss of the initial
+single-sample approximation (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "squared_error",
+    "normalize_series",
+    "time_to_fraction",
+    "time_to_half",
+]
+
+Row = Tuple[Any, ...]
+Marginals = Dict[Row, float]
+
+
+def squared_error(estimate: Marginals, truth: Marginals) -> float:
+    """Element-wise squared loss over the union of answer tuples.
+
+    Tuples absent from one side count as probability 0 there, so both
+    false positives and false negatives are penalized.
+    """
+    loss = 0.0
+    for row in estimate.keys() | truth.keys():
+        diff = estimate.get(row, 0.0) - truth.get(row, 0.0)
+        loss += diff * diff
+    return loss
+
+
+def normalize_series(losses: Sequence[float]) -> List[float]:
+    """Scale a loss trace so its maximum is 1 (paper §5.2)."""
+    peak = max(losses, default=0.0)
+    if peak <= 0.0:
+        return [0.0 for _ in losses]
+    return [value / peak for value in losses]
+
+
+def time_to_fraction(
+    trace: Sequence[Tuple[float, float]], fraction: float
+) -> float:
+    """Earliest time at which the loss drops to ``fraction`` of the
+    trace's initial loss.
+
+    ``trace`` is a sequence of ``(elapsed_seconds, loss)`` points in
+    time order, starting from the single-sample approximation.  Raises
+    if the trace never reaches the target (the caller should then run
+    more samples).
+    """
+    if not trace:
+        raise EvaluationError("empty loss trace")
+    if not 0.0 < fraction <= 1.0:
+        raise EvaluationError("fraction must be in (0, 1]")
+    initial = trace[0][1]
+    if initial == 0.0:
+        return trace[0][0]
+    target = initial * fraction
+    for elapsed, loss in trace:
+        if loss <= target:
+            return elapsed
+    raise EvaluationError(
+        f"loss never reached {fraction:.0%} of its initial value "
+        f"(initial {initial:.4g}, final {trace[-1][1]:.4g}); run more samples"
+    )
+
+
+def time_to_half(trace: Sequence[Tuple[float, float]]) -> float:
+    """The paper's Fig. 4a metric: time to halve the squared error of
+    the initial deterministic approximation."""
+    return time_to_fraction(trace, 0.5)

@@ -1,0 +1,25 @@
+"""Basic MH query evaluation — the paper's Algorithm 3.
+
+After every ``k`` Metropolis-Hastings walk-steps the *full* query is
+re-executed over the current world, and tuple counts are collected.
+Correct but expensive: the per-sample cost is the cost of a complete
+query execution, which for non-selective queries scales with the
+database (the paper projects 227 hours for 10M tuples, §5.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.db.multiset import Multiset
+from repro.db.ra.eval import evaluate
+from repro.core.evaluator import QueryEvaluator
+
+__all__ = ["NaiveEvaluator"]
+
+
+class NaiveEvaluator(QueryEvaluator):
+    """Re-runs every query from scratch on each sampled world."""
+
+    def _answers(self) -> List[Multiset]:
+        return [evaluate(plan, self.db) for plan in self.plans]

@@ -1,0 +1,192 @@
+"""Signed multisets (Z-relations).
+
+A :class:`Multiset` maps rows to signed integer multiplicities.  This is
+the algebraic backbone of incremental view maintenance: a *relation
+instance* is a multiset with positive counts, and a *delta* is a multiset
+whose negative counts encode deletions.  With this representation the
+classic Blakeley/DBToaster delta rules become exact identities::
+
+    select(R + dR)  == select(R) + select(dR)
+    project(R + dR) == project(R) + project(dR)
+    (R + dR) x (S + dS) == RxS + dRxS + RxdS + dRxdS
+
+The *support* of a multiset (rows with count > 0) is what a query
+answer "contains"; maintaining counts rather than a set is exactly the
+book-keeping the paper notes is required under projection (§4.2 Remark).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Tuple
+
+__all__ = ["Multiset"]
+
+Row = Tuple[Any, ...]
+
+
+class Multiset:
+    """A mapping from rows to signed integer counts.
+
+    Rows with a zero count are eagerly removed so that equality,
+    iteration and size behave as expected.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, items: Iterable[Row] | Dict[Row, int] | None = None):
+        self._counts: Dict[Row, int] = {}
+        if isinstance(items, dict):
+            for row, count in items.items():
+                self.add(row, count)
+        elif items is not None:
+            for row in items:
+                self.add(row, 1)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Row, count: int = 1) -> None:
+        """Adjust the multiplicity of ``row`` by ``count`` (may be < 0)."""
+        if count == 0:
+            return
+        new = self._counts.get(row, 0) + count
+        if new == 0:
+            del self._counts[row]
+        else:
+            self._counts[row] = new
+
+    def discard(self, row: Row, count: int = 1) -> None:
+        """Adjust the multiplicity of ``row`` by ``-count``."""
+        self.add(row, -count)
+
+    def update(self, other: "Multiset", scale: int = 1) -> None:
+        """In-place ``self += scale * other``."""
+        if scale == 0:
+            return
+        for row, count in other._counts.items():
+            self.add(row, count * scale)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def count(self, row: Row) -> int:
+        """Signed multiplicity of ``row`` (0 if absent)."""
+        return self._counts.get(row, 0)
+
+    def __contains__(self, row: Row) -> bool:
+        """Set-semantics membership: count strictly positive."""
+        return self._counts.get(row, 0) > 0
+
+    def items(self) -> Iterator[tuple[Row, int]]:
+        """Iterate over ``(row, signed_count)`` pairs."""
+        return iter(self._counts.items())
+
+    def support(self) -> Iterator[Row]:
+        """Iterate over rows with strictly positive count."""
+        return (row for row, count in self._counts.items() if count > 0)
+
+    def support_set(self) -> frozenset[Row]:
+        """The support as a frozen set (rows with count > 0)."""
+        return frozenset(self.support())
+
+    def __iter__(self) -> Iterator[Row]:
+        """Iterate over the support, repeating rows by multiplicity."""
+        for row, count in self._counts.items():
+            for _ in range(max(count, 0)):
+                yield row
+
+    def distinct(self) -> Iterator[Row]:
+        """Iterate over distinct rows regardless of count sign."""
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        """Total positive multiplicity (bag cardinality of the support)."""
+        return sum(c for c in self._counts.values() if c > 0)
+
+    def distinct_size(self) -> int:
+        return len(self._counts)
+
+    def is_empty(self) -> bool:
+        """True when no row has a nonzero count."""
+        return not self._counts
+
+    def is_relation(self) -> bool:
+        """True when every count is positive (a genuine bag, not a delta)."""
+        return all(c > 0 for c in self._counts.values())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Multiset") -> "Multiset":
+        out = self.copy()
+        out.update(other)
+        return out
+
+    def __sub__(self, other: "Multiset") -> "Multiset":
+        out = self.copy()
+        out.update(other, scale=-1)
+        return out
+
+    def __neg__(self) -> "Multiset":
+        out = Multiset()
+        for row, count in self._counts.items():
+            out._counts[row] = -count
+        return out
+
+    def scaled(self, factor: int) -> "Multiset":
+        """A copy with every count multiplied by ``factor``."""
+        out = Multiset()
+        if factor:
+            for row, count in self._counts.items():
+                out._counts[row] = count * factor
+        return out
+
+    def map_rows(self, fn: Callable[[Row], Row]) -> "Multiset":
+        """Apply ``fn`` to every row, merging counts of collisions.
+
+        This is multiset projection: counts of rows mapping to the same
+        image add up.
+        """
+        out = Multiset()
+        for row, count in self._counts.items():
+            out.add(fn(row), count)
+        return out
+
+    def filter_rows(self, predicate: Callable[[Row], bool]) -> "Multiset":
+        """Keep rows satisfying ``predicate``, preserving counts."""
+        out = Multiset()
+        for row, count in self._counts.items():
+            if predicate(row):
+                out._counts[row] = count
+        return out
+
+    def copy(self) -> "Multiset":
+        out = Multiset()
+        out._counts = dict(self._counts)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("Multiset is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{row!r}x{count}" for row, count in list(self._counts.items())[:8])
+        suffix = ", ..." if len(self._counts) > 8 else ""
+        return f"Multiset({{{inner}{suffix}}})"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(cls, counts: Dict[Row, int]) -> "Multiset":
+        out = cls()
+        for row, count in counts.items():
+            out.add(row, count)
+        return out

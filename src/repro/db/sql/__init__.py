@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, and SQL→relational-algebra compiler."""
+
+from repro.db.sql.compiler import compile_select, plan_query
+from repro.db.sql.parser import parse
+
+__all__ = ["compile_select", "parse", "plan_query"]

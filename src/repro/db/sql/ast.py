@@ -1,0 +1,115 @@
+"""Abstract syntax for the SQL subset.
+
+The parser produces these nodes; the compiler lowers them to
+relational-algebra plans.  SQL expressions reuse the scalar expression
+classes from :mod:`repro.db.ra.ast` directly, with two additions that
+only exist at the SQL level and are eliminated during compilation:
+aggregate calls (:class:`AggCall`) and scalar subqueries
+(:class:`ScalarSubquery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.db.ra.ast import Expr
+from repro.db.schema import Schema
+from repro.db.types import AttrType
+from repro.errors import QueryError
+
+__all__ = ["AggCall", "ScalarSubquery", "TableRef", "SelectItem", "OrderItem", "SelectStmt"]
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """``COUNT(*)`` / ``COUNT(expr)`` / ``SUM`` / ``AVG`` / ``MIN`` / ``MAX``.
+
+    Valid only inside a select list or HAVING clause; the compiler
+    replaces it with a reference into a GroupAggregate output.
+    """
+
+    func: str
+    arg: Optional[Expr]  # None encodes COUNT(*)
+
+    def bind(self, schema):  # pragma: no cover - defensive
+        raise QueryError("aggregate calls cannot be evaluated per-row")
+
+    def columns(self):
+        return self.arg.columns() if self.arg is not None else []
+
+    def result_type(self, schema: Schema) -> AttrType:
+        if self.func == "count":
+            return AttrType.INT
+        if self.func == "avg":
+            return AttrType.FLOAT
+        assert self.arg is not None
+        return self.arg.result_type(schema)
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesized SELECT used as a scalar value.
+
+    Only single-aggregate selects are accepted; the compiler
+    decorrelates them into :class:`repro.db.ra.ast.AggLookup` nodes.
+    """
+
+    query: "SelectStmt"
+
+    def bind(self, schema):  # pragma: no cover - defensive
+        raise QueryError("scalar subqueries must be decorrelated before evaluation")
+
+    def columns(self):
+        return []
+
+    def result_type(self, schema: Schema) -> AttrType:
+        items = self.query.items
+        if len(items) == 1 and isinstance(items[0].expr, AggCall):
+            if items[0].expr.func in ("count",):
+                return AttrType.INT
+            if items[0].expr.func == "avg":
+                return AttrType.FLOAT
+        return AttrType.INT
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``table [AS] alias`` in a FROM clause."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def exposed_name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the select list: an expression plus optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt:
+    """A parsed SELECT statement."""
+
+    items: list[SelectItem]
+    from_tables: list[TableRef]
+    joins: list[tuple[TableRef, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+    select_star: bool = False

@@ -1,0 +1,128 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  The
+dialect is the subset used throughout the paper: SELECT / FROM / WHERE
+with joins, aggregates, GROUP BY / HAVING, scalar subqueries, ORDER BY
+and LIMIT.  Strings use single quotes with ``''`` escaping; keywords
+and identifiers are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "where", "group", "by", "having",
+        "order", "limit", "as", "and", "or", "not", "in", "like", "between",
+        "count", "sum", "avg", "min", "max", "join", "inner", "on",
+        "union", "all", "asc", "desc",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", "/", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind is TokenType.SYMBOL and self.value == symbol
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            value, i = _scan_string(text, i)
+            yield Token(TokenType.STRING, value, i)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _scan_number(text, i)
+            yield Token(TokenType.NUMBER, value, i)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokenType.KEYWORD, lowered, start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                yield Token(TokenType.SYMBOL, symbol, i)
+                i += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, None, n)
+
+
+def _scan_string(text: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _scan_number(text: str, start: int) -> tuple[int | float, int]:
+    i = start
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    if raw.endswith("."):
+        raise SqlSyntaxError(f"malformed number {raw!r}", start)
+    return (float(raw) if seen_dot else int(raw)), i

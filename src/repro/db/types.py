@@ -1,0 +1,64 @@
+"""Attribute types for relation schemas.
+
+The engine is deliberately small: attributes are either integers,
+floats, or strings.  Types are used to validate rows on insert and to
+give the SQL layer enough information to coerce literals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+__all__ = ["AttrType", "check_value", "coerce_value"]
+
+
+class AttrType(enum.Enum):
+    """The value type of one relation attribute."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to store values of this attribute."""
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES = {
+    AttrType.INT: int,
+    AttrType.FLOAT: float,
+    AttrType.STRING: str,
+}
+
+
+def check_value(attr_type: AttrType, value: Any) -> bool:
+    """Return whether ``value`` is storable under ``attr_type`` as-is.
+
+    Booleans are rejected for INT attributes: ``True``/``False`` are
+    almost always a caller bug rather than intended data.
+    """
+    if attr_type is AttrType.INT:
+        return type(value) is int
+    if attr_type is AttrType.FLOAT:
+        return type(value) in (float, int) and type(value) is not bool
+    return isinstance(value, str)
+
+
+def coerce_value(attr_type: AttrType, value: Any) -> Any:
+    """Coerce ``value`` for storage under ``attr_type``.
+
+    INT accepts ints; FLOAT accepts ints and floats (stored as float);
+    STRING accepts strings.  Anything else raises :class:`SchemaError`.
+    """
+    if check_value(attr_type, value):
+        if attr_type is AttrType.FLOAT:
+            return float(value)
+        return value
+    raise SchemaError(
+        f"value {value!r} of type {type(value).__name__} is not valid "
+        f"for attribute type {attr_type.value}"
+    )

@@ -1,0 +1,97 @@
+"""Materialized views over the single stored possible world.
+
+A :class:`MaterializedView` pairs a relational-algebra plan with the
+stateful maintainer tree from :mod:`repro.db.ra.delta`.  After the view
+is initialized with one full query execution (the "base case" of the
+paper's Eq. 6 recursion), each subsequent MCMC world transition is
+folded in by :meth:`apply`, whose cost scales with ``|Δ|`` rather than
+``|w|``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+from repro.db.database import Database
+from repro.db.delta import Delta
+from repro.db.multiset import Multiset
+from repro.db.ra.ast import Limit, OrderBy, PlanNode
+from repro.db.ra.delta import build_maintainer
+
+__all__ = ["MaterializedView", "strip_presentation"]
+
+Row = Tuple[Any, ...]
+
+
+def strip_presentation(plan: PlanNode) -> PlanNode:
+    """Remove top-level ORDER BY / LIMIT wrappers.
+
+    These operators shape presentation, not answer membership, so
+    marginal estimation ignores them.
+    """
+    while isinstance(plan, (OrderBy, Limit)):
+        plan = plan.child
+    return plan
+
+
+class MaterializedView:
+    """An incrementally maintained query answer.
+
+    Parameters
+    ----------
+    db:
+        The database holding the current possible world; used for the
+        initial full evaluation (and for :meth:`refresh`).
+    plan:
+        The query.  ORDER BY / LIMIT wrappers are stripped.
+    """
+
+    def __init__(self, db: Database, plan: PlanNode):
+        self.plan = strip_presentation(plan)
+        self._maintainer = build_maintainer(self.plan)
+        self._result = self._maintainer.initialize(db)
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.plan.schema
+
+    def result(self) -> Multiset:
+        """The current answer multiset.
+
+        The returned object is live view state — treat it as read-only.
+        Use :meth:`rows` / :meth:`support` for iteration.
+        """
+        return self._result
+
+    def rows(self) -> Iterator[Row]:
+        """Answer rows with multiplicity (count > 0 repeated)."""
+        return iter(self._result)
+
+    def support(self) -> Iterator[Row]:
+        """Distinct answer rows (count > 0), the set-semantics answer."""
+        return self._result.support()
+
+    def count(self, row: Row) -> int:
+        return self._result.count(row)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._result
+
+    def __len__(self) -> int:
+        return len(self._result)
+
+    # ------------------------------------------------------------------
+    def apply(self, delta: Delta) -> Multiset:
+        """Fold one world delta into the view; returns the answer delta."""
+        if delta.is_empty():
+            return Multiset()
+        out = self._maintainer.apply(delta)
+        self._result.update(out)
+        return out
+
+    def refresh(self, db: Database) -> Multiset:
+        """Rebuild from scratch (used after restoring a snapshot)."""
+        self._maintainer = build_maintainer(self.plan)
+        self._result = self._maintainer.initialize(db)
+        return self._result

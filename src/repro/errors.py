@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still discriminating on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or violated (unknown attribute,
+    arity mismatch, duplicate attribute names, type mismatch)."""
+
+
+class IntegrityError(ReproError):
+    """A database integrity constraint was violated (duplicate primary
+    key, unknown table, delete of a missing row)."""
+
+
+class QueryError(ReproError):
+    """A relational-algebra plan or SQL query is invalid."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class PlanError(QueryError):
+    """A logically valid query could not be compiled to an executable or
+    incrementally-maintainable plan."""
+
+
+class DomainError(ReproError):
+    """A random variable was assigned a value outside its domain."""
+
+
+class GraphError(ReproError):
+    """The factor graph is structurally invalid (unbound variable,
+    factor over unknown variables)."""
+
+
+class InferenceError(ReproError):
+    """MCMC inference was configured or driven incorrectly."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation over the probabilistic database failed."""

@@ -1,0 +1,62 @@
+"""Variable domains.
+
+A :class:`Domain` is the finite set of values a hidden random variable
+may take (the paper's ``DOM(Y_i)``), e.g. the nine CoNLL BIO labels.
+Domains are immutable and shared across variables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import DomainError
+
+__all__ = ["Domain"]
+
+
+class Domain:
+    """An ordered, finite set of admissible values."""
+
+    __slots__ = ("name", "_values", "_index")
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        if not values:
+            raise DomainError(f"domain {name!r} must have at least one value")
+        self.name = name
+        self._values = tuple(values)
+        self._index = {v: i for i, v in enumerate(self._values)}
+        if len(self._index) != len(self._values):
+            raise DomainError(f"domain {name!r} has duplicate values")
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._index
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def index(self, value: Any) -> int:
+        """Position of ``value`` in the domain ordering."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise DomainError(
+                f"value {value!r} not in domain {self.name!r}"
+            ) from None
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if admissible, else raise :class:`DomainError`."""
+        if value not in self._index:
+            raise DomainError(f"value {value!r} not in domain {self.name!r}")
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(map(repr, self._values[:6]))
+        suffix = ", ..." if len(self._values) > 6 else ""
+        return f"Domain({self.name}: {preview}{suffix})"

@@ -1,0 +1,132 @@
+"""Factors: compatibility functions over small sets of variables.
+
+All scores are **log-space** throughout the library: a paper factor
+``psi(y, x) = exp(phi · theta)`` is represented by its exponent, so the
+model's unnormalized log-probability is a *sum* of factor scores and
+the Metropolis-Hastings ratio is a difference — the normalizer ``Z_X``
+never appears (paper §3.4).
+
+Factors are created lazily by templates when inference asks which
+factors touch a changed variable; :attr:`Factor.key` deduplicates the
+instances that two endpoints of the same factor would otherwise
+produce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro.fg.features import FeatureVector
+from repro.fg.variables import Variable
+from repro.fg.weights import Weights
+
+__all__ = ["Factor", "LogLinearFactor", "TableFactor", "ConstraintFactor", "NEG_INF"]
+
+NEG_INF = float("-inf")
+
+
+class Factor:
+    """Base class.  A factor reads the *current* values of its variables."""
+
+    __slots__ = ("template_name", "variables")
+
+    def __init__(self, template_name: str, variables: Tuple[Variable, ...]):
+        self.template_name = template_name
+        self.variables = variables
+
+    @property
+    def key(self) -> Hashable:
+        """Identity for deduplication: a factor instance reachable from
+        several of its variables must produce equal keys."""
+        return (self.template_name, tuple(v.name for v in self.variables))
+
+    def score(self) -> float:
+        """Log-space compatibility of the current assignment."""
+        raise NotImplementedError
+
+    def features(self) -> FeatureVector:
+        """Sufficient statistics of the current assignment (empty for
+        non-parametric factors)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(str(v.name) for v in self.variables)
+        return f"{type(self).__name__}({self.template_name}: {names})"
+
+
+class LogLinearFactor(Factor):
+    """``score = theta · phi(values)`` with shared template weights.
+
+    ``feature_fn`` maps the current variable values (in ``variables``
+    order) to a sparse feature vector.
+    """
+
+    __slots__ = ("weights", "_feature_fn")
+
+    def __init__(
+        self,
+        template_name: str,
+        variables: Tuple[Variable, ...],
+        weights: Weights,
+        feature_fn: Callable[..., FeatureVector],
+    ):
+        super().__init__(template_name, variables)
+        self.weights = weights
+        self._feature_fn = feature_fn
+
+    def features(self) -> FeatureVector:
+        return self._feature_fn(*(v.value for v in self.variables))
+
+    def score(self) -> float:
+        return self.weights.dot(self.template_name, self.features())
+
+
+class TableFactor(Factor):
+    """An explicit (value-combo → log score) table.
+
+    Convenient for unit tests and small exactly-enumerable models;
+    missing combinations default to log score 0 (multiplicative 1).
+    """
+
+    __slots__ = ("table", "default")
+
+    def __init__(
+        self,
+        template_name: str,
+        variables: Tuple[Variable, ...],
+        table: Dict[Tuple[Any, ...], float],
+        default: float = 0.0,
+    ):
+        super().__init__(template_name, variables)
+        self.table = table
+        self.default = default
+
+    def score(self) -> float:
+        values = tuple(v.value for v in self.variables)
+        return self.table.get(values, self.default)
+
+
+class ConstraintFactor(Factor):
+    """A deterministic factor: 0 when satisfied, −inf when violated.
+
+    Worlds violating any constraint have probability zero (paper §3.2);
+    in practice proposers are constraint-preserving and these factors
+    only guard against programming errors.
+    """
+
+    __slots__ = ("_predicate",)
+
+    def __init__(
+        self,
+        template_name: str,
+        variables: Tuple[Variable, ...],
+        predicate: Callable[..., bool],
+    ):
+        super().__init__(template_name, variables)
+        self._predicate = predicate
+
+    def score(self) -> float:
+        if self._predicate(*(v.value for v in self.variables)):
+            return 0.0
+        return NEG_INF

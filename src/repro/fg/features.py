@@ -1,0 +1,45 @@
+"""Sparse feature vectors.
+
+Factors in log-linear models score an assignment through a sparse
+vector of sufficient statistics ``phi`` dotted with weights ``theta``
+(paper §3.1: ``psi_k = exp(phi_k · theta_k)``).  A feature vector here
+is a plain ``dict`` from hashable feature keys to float values; this
+module provides the few algebraic helpers learning and scoring need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+__all__ = ["FeatureVector", "unit", "accumulate", "subtract", "scale"]
+
+FeatureVector = Dict[Hashable, float]
+
+
+def unit(key: Hashable) -> FeatureVector:
+    """An indicator feature: ``{key: 1.0}``."""
+    return {key: 1.0}
+
+
+def accumulate(target: FeatureVector, other: FeatureVector, factor: float = 1.0) -> None:
+    """In-place ``target += factor * other`` (drops exact zeros)."""
+    for key, value in other.items():
+        new = target.get(key, 0.0) + factor * value
+        if new == 0.0:
+            target.pop(key, None)
+        else:
+            target[key] = new
+
+
+def subtract(a: FeatureVector, b: FeatureVector) -> FeatureVector:
+    """``a − b`` as a new sparse vector."""
+    out = dict(a)
+    accumulate(out, b, -1.0)
+    return out
+
+
+def scale(a: FeatureVector, factor: float) -> FeatureVector:
+    """``factor * a`` as a new sparse vector."""
+    if factor == 0.0:
+        return {}
+    return {key: value * factor for key, value in a.items()}

@@ -1,0 +1,157 @@
+"""The factor graph: hidden variables plus factor templates.
+
+:class:`FactorGraph` encodes the distribution over possible worlds
+(paper Eq. 1).  It is deliberately *lazy*: factors are instantiated by
+templates only around the variables a proposal touches, so the cost of
+evaluating a Metropolis-Hastings acceptance ratio is independent of the
+database size (Appendix 9.2).
+
+For small graphs the class also offers exact enumeration utilities
+(:meth:`enumerate_assignments`, :meth:`exact_marginals`) used by the
+test suite to validate that MCMC converges to the true distribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.fg.factors import Factor
+from repro.fg.templates import Template, dedup_factors
+from repro.fg.variables import HiddenVariable
+
+__all__ = ["FactorGraph"]
+
+Assignment = Tuple[Any, ...]
+
+
+class FactorGraph:
+    """A set of hidden variables governed by factor templates."""
+
+    def __init__(
+        self,
+        variables: Sequence[HiddenVariable],
+        templates: Sequence[Template],
+    ):
+        if not variables:
+            raise GraphError("a factor graph needs at least one hidden variable")
+        self.variables: List[HiddenVariable] = list(variables)
+        self.templates: List[Template] = list(templates)
+        self._by_name = {v.name: v for v in self.variables}
+        if len(self._by_name) != len(self.variables):
+            raise GraphError("hidden variable names must be unique")
+        self.has_dynamic_templates = any(
+            getattr(t, "dynamic", False) for t in self.templates
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def variable(self, name: Hashable) -> HiddenVariable:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GraphError(f"no hidden variable named {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    # ------------------------------------------------------------------
+    # Factor instantiation
+    # ------------------------------------------------------------------
+    def factors_touching(
+        self, variables: Iterable[HiddenVariable]
+    ) -> Dict[Hashable, Factor]:
+        """Deduplicated factors adjacent to ``variables`` under the
+        current assignment."""
+        return dedup_factors(
+            factor
+            for variable in variables
+            for template in self.templates
+            for factor in template.factors_for(variable)
+        )
+
+    def all_factors(self) -> Dict[Hashable, Factor]:
+        """Every factor of the unrolled graph (small graphs only)."""
+        return self.factors_touching(self.variables)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self) -> float:
+        """Unnormalized log-probability of the current world."""
+        return sum(f.score() for f in self.all_factors().values())
+
+    def local_score(self, variables: Iterable[HiddenVariable]) -> float:
+        """Sum of scores of factors adjacent to ``variables`` only."""
+        return sum(f.score() for f in self.factors_touching(variables).values())
+
+    def score_delta(self, changes: Dict[HiddenVariable, Any]) -> float:
+        """Log-score difference of applying ``changes``, computed from
+        adjacent factors only (the Appendix 9.2 cancellation).
+
+        The assignment is restored before returning; this is a pure
+        what-if query.  Structure-changing models (any dynamic
+        template) are handled by re-asking for the adjacent factor set
+        after the change; static models reuse the same factor set.
+        """
+        touched = list(changes)
+        factors = self.factors_touching(touched)
+        before = sum(f.score() for f in factors.values())
+        saved = {v: v.value for v in touched}
+        try:
+            for variable, value in changes.items():
+                variable.set_value(value)
+            if self.has_dynamic_templates:
+                factors = self.factors_touching(touched)
+            after = sum(f.score() for f in factors.values())
+        finally:
+            for variable, value in saved.items():
+                variable.set_value(value)
+        return after - before
+
+    # ------------------------------------------------------------------
+    # Exact enumeration (test-scale graphs)
+    # ------------------------------------------------------------------
+    def enumerate_assignments(self) -> Iterator[Tuple[Assignment, float]]:
+        """Yield ``(assignment, unnormalized log score)`` for every joint
+        assignment; variable order matches :attr:`variables`.
+
+        Exponential in the number of variables — for tests and tiny
+        examples only.  The current assignment is restored afterwards.
+        """
+        saved = [v.value for v in self.variables]
+        domains = [v.domain.values for v in self.variables]
+        try:
+            for assignment in itertools.product(*domains):
+                for variable, value in zip(self.variables, assignment):
+                    variable.set_value(value)
+                yield assignment, self.score()
+        finally:
+            for variable, value in zip(self.variables, saved):
+                variable.set_value(value)
+
+    def exact_distribution(self) -> Dict[Assignment, float]:
+        """Normalized probability of every joint assignment."""
+        scored = list(self.enumerate_assignments())
+        log_z = _log_sum_exp([s for _, s in scored])
+        return {a: math.exp(s - log_z) for a, s in scored}
+
+    def exact_marginals(self) -> List[Dict[Any, float]]:
+        """Per-variable marginal distributions, by enumeration."""
+        marginals: List[Dict[Any, float]] = [
+            {value: 0.0 for value in v.domain} for v in self.variables
+        ]
+        for assignment, probability in self.exact_distribution().items():
+            for i, value in enumerate(assignment):
+                marginals[i][value] += probability
+        return marginals
+
+
+def _log_sum_exp(values: List[float]) -> float:
+    peak = max(values)
+    if peak == float("-inf"):
+        raise GraphError("all worlds have probability zero")
+    return peak + math.log(sum(math.exp(v - peak) for v in values))

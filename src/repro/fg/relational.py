@@ -1,0 +1,57 @@
+"""Binding factor graphs to database relations.
+
+The paper's prototype implements two pieces of plumbing (§5): (1)
+retrieving tuples from the store and instantiating the corresponding
+random variables in memory, and (2) propagating changes to random
+variables back to the stored tuples.  This module is that plumbing.
+
+:func:`bind_field_variables` creates one
+:class:`~repro.fg.variables.FieldVariable` per row of a relation for an
+uncertain attribute; :func:`flush_all` and :func:`reload_all` move
+values between graph and database in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.db.database import Database
+from repro.fg.domain import Domain
+from repro.fg.variables import FieldVariable
+
+__all__ = ["bind_field_variables", "flush_all", "reload_all"]
+
+
+def bind_field_variables(
+    db: Database,
+    table: str,
+    attr: str,
+    domain: Domain,
+    where: Callable[[tuple], bool] | None = None,
+) -> List[FieldVariable]:
+    """One hidden variable per row of ``table`` for uncertain ``attr``.
+
+    ``where`` optionally restricts binding to a subset of rows (e.g.
+    only tokens of selected documents).  Rows are bound in primary-key
+    order so variable lists are deterministic across runs.
+    """
+    table_obj = db.table(table)
+    variables: List[FieldVariable] = []
+    for pk in sorted(table_obj.keys()):
+        row = table_obj.get(pk)
+        if where is not None and not where(row):
+            continue
+        variables.append(FieldVariable(db, table, pk, attr, domain))
+    return variables
+
+
+def flush_all(variables: Iterable[FieldVariable]) -> None:
+    """Write every variable's in-memory value to the database."""
+    for variable in variables:
+        variable.flush()
+
+
+def reload_all(variables: Iterable[FieldVariable]) -> None:
+    """Re-read every variable's value from the database."""
+    for variable in variables:
+        variable.reload()

@@ -1,0 +1,136 @@
+"""Factor templates.
+
+A template describes one *kind* of dependency (emission, transition,
+bias, skip, ...) and can instantiate the concrete factors adjacent to
+any given hidden variable on demand.  This is the key to the paper's
+scalability: the graph is never unrolled over the whole database — only
+the factors touching variables changed by a proposal are materialized
+(paper §3.3/§3.4 and Appendix 9.2).
+
+Generic templates cover the common arities:
+
+* :class:`UnaryTemplate` — one factor per variable (bias, emission
+  when the observation is baked into the feature function);
+* :class:`PairwiseTemplate` — factors between a variable and each
+  neighbour from a user-supplied neighbourhood function (transition,
+  skip-chain edges).
+
+Application models subclass or instantiate these with their feature
+functions; see :mod:`repro.ie.ner.model`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Tuple
+
+from repro.fg.factors import Factor, LogLinearFactor
+from repro.fg.features import FeatureVector
+from repro.fg.variables import HiddenVariable, Variable
+from repro.fg.weights import Weights
+
+__all__ = ["Template", "UnaryTemplate", "PairwiseTemplate", "dedup_factors"]
+
+
+class Template:
+    """Base class for factor templates.
+
+    ``dynamic`` declares that the *set* of factors adjacent to a
+    variable depends on the values of other variables (e.g. coref
+    cluster membership).  Static templates allow the MH kernel to
+    instantiate the adjacent factor set once per proposal and score it
+    under both worlds; dynamic templates force re-instantiation after
+    the hypothesized change.
+    """
+
+    def __init__(self, name: str, dynamic: bool = False):
+        self.name = name
+        self.dynamic = dynamic
+
+    def factors_for(self, variable: HiddenVariable) -> Iterable[Factor]:
+        """All factor instances of this template adjacent to ``variable``
+        *under the current assignment* (the set may depend on the values
+        of other variables for structure-changing models)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+def dedup_factors(factor_iter: Iterable[Factor]) -> Dict[Hashable, Factor]:
+    """Collapse factor instances by :attr:`Factor.key`."""
+    out: Dict[Hashable, Factor] = {}
+    for factor in factor_iter:
+        out.setdefault(factor.key, factor)
+    return out
+
+
+class UnaryTemplate(Template):
+    """One log-linear factor per hidden variable.
+
+    ``feature_fn(variable)`` returns the sparse sufficient statistics
+    of the variable's current value; closures may capture per-variable
+    observations (e.g. the token string for an emission factor).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weights: Weights,
+        feature_fn: Callable[[HiddenVariable], FeatureVector],
+    ):
+        super().__init__(name, dynamic=False)
+        self.weights = weights
+        self._feature_fn = feature_fn
+
+    def factors_for(self, variable: HiddenVariable) -> Iterator[Factor]:
+        feature_fn = self._feature_fn
+
+        def features(_value) -> FeatureVector:
+            # The bound variable's value is read through the closure so
+            # the factor always scores the current assignment.
+            return feature_fn(variable)
+
+        yield LogLinearFactor(self.name, (variable,), self.weights, features)
+
+
+class PairwiseTemplate(Template):
+    """Log-linear factors between a variable and each of its neighbours.
+
+    ``neighbors_fn(variable)`` yields the other endpoints under the
+    current assignment; ``feature_fn(a, b)`` maps the two variables to
+    features.  Endpoints are canonically ordered by variable name so
+    both directions produce the same factor key.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weights: Weights,
+        neighbors_fn: Callable[[HiddenVariable], Iterable[Variable]],
+        feature_fn: Callable[[Variable, Variable], FeatureVector],
+        dynamic: bool = False,
+    ):
+        super().__init__(name, dynamic=dynamic)
+        self.weights = weights
+        self._neighbors_fn = neighbors_fn
+        self._feature_fn = feature_fn
+
+    def factors_for(self, variable: HiddenVariable) -> Iterator[Factor]:
+        for other in self._neighbors_fn(variable):
+            first, second = _ordered(variable, other)
+            feature_fn = self._feature_fn
+
+            def features(_a, _b, first=first, second=second) -> FeatureVector:
+                return feature_fn(first, second)
+
+            yield LogLinearFactor(
+                self.name, (first, second), self.weights, features
+            )
+
+
+def _ordered(a: Variable, b: Variable) -> Tuple[Variable, Variable]:
+    return (a, b) if _sort_key(a) <= _sort_key(b) else (b, a)
+
+
+def _sort_key(v: Variable) -> str:
+    return repr(v.name)

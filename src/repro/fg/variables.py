@@ -1,0 +1,126 @@
+"""Random variables.
+
+Database objects (fields of tuples) are interpreted as random
+variables; the factor graph relates them.  Three kinds exist:
+
+* :class:`ObservedVariable` — a fixed value (the paper's ``X``), e.g.
+  the token string;
+* :class:`HiddenVariable` — an uncertain value with a finite
+  :class:`~repro.fg.domain.Domain` (the paper's ``Y``), e.g. the label;
+* :class:`FieldVariable` — a hidden variable *bound to a database
+  field* ``(table, pk, attribute)``.  Its in-memory value is the source
+  of truth during inference; :meth:`FieldVariable.flush` propagates an
+  accepted change back to the stored possible world, which is how the
+  MCMC chain keeps the single-world database in sync (§5, prototype
+  functionality (2)).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.db.database import Database
+from repro.errors import DomainError
+from repro.fg.domain import Domain
+
+__all__ = ["Variable", "ObservedVariable", "HiddenVariable", "FieldVariable"]
+
+
+class Variable:
+    """Base class: a named node of the factor graph."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Hashable):
+        self.name = name
+
+    @property
+    def value(self) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}={self.value!r})"
+
+
+class ObservedVariable(Variable):
+    """A variable fixed to a constant (never resampled)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: Hashable, value: Any):
+        super().__init__(name)
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+
+class HiddenVariable(Variable):
+    """An uncertain variable over a finite domain.
+
+    ``set_value`` mutates only the in-memory state; this is what MH
+    proposals touch when hypothesizing a world, so that rejected
+    proposals never reach the database.
+    """
+
+    __slots__ = ("domain", "_value")
+
+    def __init__(self, name: Hashable, domain: Domain, value: Any):
+        super().__init__(name)
+        self.domain = domain
+        self._value = domain.validate(value)
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set_value(self, value: Any) -> None:
+        self._value = self.domain.validate(value)
+
+
+class FieldVariable(HiddenVariable):
+    """A hidden variable bound to one field of one stored tuple.
+
+    Parameters
+    ----------
+    db, table, pk, attr:
+        The field this variable shadows.  The variable's initial value
+        is read from the database, guaranteeing that world and graph
+        agree at construction time.
+    domain:
+        Admissible values for the field.
+    """
+
+    __slots__ = ("db", "table", "pk", "attr")
+
+    def __init__(
+        self,
+        db: Database,
+        table: str,
+        pk: Sequence[Any],
+        attr: str,
+        domain: Domain,
+    ):
+        self.db = db
+        self.table = table
+        self.pk = tuple(pk)
+        self.attr = attr
+        stored = db.table(table).get(self.pk)
+        position = db.table(table).schema.position(attr)
+        super().__init__((table, self.pk, attr), domain, stored[position])
+
+    def flush(self) -> None:
+        """Write the in-memory value to the database.
+
+        Called by the MCMC chain when a proposal is *accepted*; the
+        table reports the change to attached delta recorders, feeding
+        the view-maintenance evaluator.
+        """
+        self.db.update(self.table, self.pk, {self.attr: self._value})
+
+    def reload(self) -> None:
+        """Re-read the stored value (used after snapshot restore)."""
+        stored = self.db.table(self.table).get(self.pk)
+        position = self.db.table(self.table).schema.position(self.attr)
+        self._value = self.domain.validate(stored[position])

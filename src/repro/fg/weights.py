@@ -1,0 +1,104 @@
+"""Model parameters.
+
+A :class:`Weights` object holds the real-valued parameters ``theta`` of
+every factor template, keyed by ``(template_name, feature_key)``.
+Scoring is a sparse dot product; learning (SampleRank) applies sparse
+additive updates.  Keeping all templates' weights in one object makes
+saving/loading and L2 norms trivial.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Hashable, Tuple
+
+from repro.fg.features import FeatureVector
+
+__all__ = ["Weights"]
+
+Key = Tuple[str, Hashable]
+
+
+class Weights:
+    """Sparse parameter vector shared by all templates of a model."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[Key, float] = {}
+
+    # ------------------------------------------------------------------
+    def get(self, template: str, feature: Hashable) -> float:
+        return self._values.get((template, feature), 0.0)
+
+    def set(self, template: str, feature: Hashable, value: float) -> None:
+        if value == 0.0:
+            self._values.pop((template, feature), None)
+        else:
+            self._values[(template, feature)] = value
+
+    def dot(self, template: str, features: FeatureVector) -> float:
+        """``theta_template · phi`` for a sparse feature vector."""
+        values = self._values
+        return sum(
+            values.get((template, key), 0.0) * value
+            for key, value in features.items()
+        )
+
+    def update(self, template: str, features: FeatureVector, step: float) -> None:
+        """``theta_template += step * phi`` (the perceptron-style update
+        SampleRank performs)."""
+        if step == 0.0:
+            return
+        for key, value in features.items():
+            self.set(template, key, self.get(template, key) + step * value)
+
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        return len(self._values)
+
+    def l2_norm(self) -> float:
+        return math.sqrt(sum(v * v for v in self._values.values()))
+
+    def copy(self) -> "Weights":
+        out = Weights()
+        out._values = dict(self._values)
+        return out
+
+    def items(self):
+        return self._values.items()
+
+    # ------------------------------------------------------------------
+    # Persistence (feature keys must be JSON-representable; tuple keys
+    # are stored as JSON arrays and restored as tuples).
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        records = [
+            {"template": template, "feature": _encode(feature), "value": value}
+            for (template, feature), value in self._values.items()
+        ]
+        Path(path).write_text(json.dumps(records), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Weights":
+        out = cls()
+        for record in json.loads(Path(path).read_text(encoding="utf-8")):
+            out.set(record["template"], _decode(record["feature"]), record["value"])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Weights({len(self._values)} parameters, |θ|={self.l2_norm():.3f})"
+
+
+def _encode(feature: Hashable):
+    if isinstance(feature, tuple):
+        return {"t": [_encode(f) for f in feature]}
+    return feature
+
+
+def _decode(raw):
+    if isinstance(raw, dict) and "t" in raw:
+        return tuple(_decode(f) for f in raw["t"])
+    return raw

@@ -1,0 +1,7 @@
+"""Information-extraction applications (the paper's §3.3 and §5).
+
+* :mod:`repro.ie.ner` — named entity recognition over a TOKEN relation
+  with a skip-chain CRF (the evaluation workload of §5);
+* :mod:`repro.ie.coref` — entity resolution with cluster variables and
+  constraint-preserving move proposals (Fig. 1, bottom row).
+"""

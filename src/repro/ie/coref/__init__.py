@@ -1,0 +1,31 @@
+"""Entity resolution: cluster mention variables with split-merge MCMC.
+
+The paper's second modelling example (Fig. 1 bottom): a factor graph
+whose structure depends on the current clustering, sampled with
+constraint-preserving proposals so transitivity never needs explicit
+factors.
+"""
+
+from repro.ie.coref.mentions import Mention, generate_mentions
+from repro.ie.coref.model import CorefModel, default_coref_weights, pairwise_f1
+from repro.ie.coref.pdb import (
+    COREF_PAIR_QUERY,
+    MENTION_SCHEMA,
+    CorefPipeline,
+    build_mention_database,
+)
+from repro.ie.coref.proposals import MoveMentionProposer, SplitMergeProposer
+
+__all__ = [
+    "COREF_PAIR_QUERY",
+    "CorefModel",
+    "CorefPipeline",
+    "MENTION_SCHEMA",
+    "Mention",
+    "MoveMentionProposer",
+    "SplitMergeProposer",
+    "build_mention_database",
+    "default_coref_weights",
+    "generate_mentions",
+    "pairwise_f1",
+]

@@ -1,0 +1,110 @@
+"""The entity-resolution probabilistic database.
+
+Builds the MENTION relation, binds the clustering model, and exposes
+the label-invariant query the example programs use: the *co-reference
+probability* of a mention pair,
+
+    SELECT M1.MENTION_ID, M2.MENTION_ID
+    FROM MENTION M1, MENTION M2
+    WHERE M1.CLUSTER = M2.CLUSTER AND M1.MENTION_ID < M2.MENTION_ID
+
+whose tuple marginals under MCMC are ``Pr[i and j co-refer]`` —
+unaffected by cluster-id relabeling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.types import AttrType
+from repro.errors import EvaluationError
+from repro.fg.weights import Weights
+from repro.mcmc.chain import MarkovChain
+from repro.mcmc.metropolis import MetropolisHastings
+from repro.core.evaluator import QueryEvaluator
+from repro.core.materialized import MaterializedEvaluator
+from repro.core.naive import NaiveEvaluator
+from repro.ie.coref.mentions import Mention, generate_mentions
+from repro.ie.coref.model import CorefModel, default_coref_weights
+from repro.ie.coref.proposals import MoveMentionProposer, SplitMergeProposer
+
+__all__ = ["MENTION_SCHEMA", "COREF_PAIR_QUERY", "build_mention_database", "CorefPipeline"]
+
+MENTION_SCHEMA = Schema.build(
+    "MENTION",
+    [
+        ("MENTION_ID", AttrType.INT),
+        ("STRING", AttrType.STRING),
+        ("CLUSTER", AttrType.INT),
+        ("TRUTH", AttrType.INT),
+    ],
+    key=["MENTION_ID"],
+)
+
+COREF_PAIR_QUERY = (
+    "SELECT M1.MENTION_ID, M2.MENTION_ID FROM MENTION M1, MENTION M2 "
+    "WHERE M1.CLUSTER = M2.CLUSTER AND M1.MENTION_ID < M2.MENTION_ID"
+)
+
+
+def build_mention_database(
+    mentions: Sequence[Mention], singletons: bool = True
+) -> Database:
+    """Materialize MENTION with each mention in its own cluster
+    (``singletons=True``) or all in one cluster."""
+    db = Database("coref")
+    table = db.create_table(MENTION_SCHEMA)
+    for mention in mentions:
+        cluster = mention.mention_id if singletons else 0
+        table.insert((mention.mention_id, mention.string, cluster, mention.entity_id))
+    return db
+
+
+class CorefPipeline:
+    """Mentions → database → model → split-merge MCMC → pair marginals."""
+
+    def __init__(
+        self,
+        num_entities: int = 12,
+        mentions_per_entity: int = 4,
+        seed: int = 0,
+        weights: Weights | None = None,
+        proposer_kind: str = "move",
+        steps_per_sample: int = 500,
+        use_repulsion: bool = True,
+    ):
+        self.mentions = generate_mentions(num_entities, mentions_per_entity, seed)
+        self.db = build_mention_database(self.mentions)
+        self.model = CorefModel(
+            self.db,
+            weights=weights or default_coref_weights(),
+            use_repulsion=use_repulsion,
+        )
+        if proposer_kind == "splitmerge":
+            self.proposer = SplitMergeProposer(self.model.variables)
+        elif proposer_kind == "move":
+            self.proposer = MoveMentionProposer(self.model.variables)
+        else:
+            raise EvaluationError(f"unknown proposer kind {proposer_kind!r}")
+        self.kernel = MetropolisHastings(self.model.graph, self.proposer, seed=seed + 1)
+        self.chain = MarkovChain(self.kernel, steps_per_sample)
+
+    def evaluator(self, kind: str = "materialized") -> QueryEvaluator:
+        if kind == "materialized":
+            return MaterializedEvaluator(self.db, self.chain, [COREF_PAIR_QUERY])
+        if kind == "naive":
+            return NaiveEvaluator(self.db, self.chain, [COREF_PAIR_QUERY])
+        raise EvaluationError(f"unknown evaluator kind {kind!r}")
+
+    def coreference_marginals(self, num_samples: int = 50):
+        """``Pr[(i, j) co-refer]`` for all mention pairs ever co-clustered."""
+        return self.evaluator().run(num_samples).marginals
+
+    def map_decode(self, num_steps: int = 20_000) -> None:
+        """Anneal toward the MAP clustering (temperature 0.2 walk)."""
+        kernel = MetropolisHastings(
+            self.model.graph, self.proposer, seed=987, temperature=0.2
+        )
+        kernel.run(num_steps)

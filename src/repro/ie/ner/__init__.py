@@ -1,0 +1,60 @@
+"""Named entity recognition over a probabilistic TOKEN relation.
+
+The paper's evaluation workload (§5): a skip-chain CRF over (up to)
+millions of tokens, queried with SQL while Metropolis-Hastings explores
+the label space.  Includes the synthetic news corpus substituted for
+the proprietary NYT 2004 data (see DESIGN.md).
+"""
+
+from repro.ie.ner.corpus import (
+    CorpusConfig,
+    Document,
+    Token,
+    generate_corpus,
+    generate_documents,
+)
+from repro.ie.ner.labels import (
+    ENTITY_TYPES,
+    LABELS,
+    LABEL_DOMAIN,
+    OUTSIDE,
+    decode_mentions,
+    encode_mentions,
+    is_valid_sequence,
+    is_valid_transition,
+    valid_labels_after,
+)
+from repro.ie.ner.model import SkipChainNerModel, fit_generative_weights
+from repro.ie.ner.pdb import (
+    TOKEN_SCHEMA,
+    NerInstance,
+    NerPipeline,
+    NerTask,
+    build_token_database,
+)
+from repro.ie.ner.proposals import BioAwareProposer
+
+__all__ = [
+    "BioAwareProposer",
+    "CorpusConfig",
+    "Document",
+    "ENTITY_TYPES",
+    "LABELS",
+    "LABEL_DOMAIN",
+    "NerInstance",
+    "NerPipeline",
+    "NerTask",
+    "OUTSIDE",
+    "SkipChainNerModel",
+    "TOKEN_SCHEMA",
+    "Token",
+    "build_token_database",
+    "decode_mentions",
+    "encode_mentions",
+    "fit_generative_weights",
+    "generate_corpus",
+    "generate_documents",
+    "is_valid_sequence",
+    "is_valid_transition",
+    "valid_labels_after",
+]

@@ -1,0 +1,133 @@
+"""CoNLL entity types and BIO label encoding (paper §5.1, Appendix 9.3).
+
+Entities: PER, ORG, LOC, MISC.  BIO notation prefixes ``B-`` (begins a
+mention) or ``I-`` (continues one), plus the ``O`` non-entity label —
+nine labels in total, matching the paper.  ``I-T`` may only follow
+``B-T`` or ``I-T`` of the same type.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DomainError
+from repro.fg.domain import Domain
+
+__all__ = [
+    "ENTITY_TYPES",
+    "LABELS",
+    "LABEL_DOMAIN",
+    "OUTSIDE",
+    "begin_label",
+    "inside_label",
+    "entity_type",
+    "is_begin",
+    "is_inside",
+    "is_valid_transition",
+    "is_valid_sequence",
+    "decode_mentions",
+    "encode_mentions",
+    "valid_labels_after",
+]
+
+ENTITY_TYPES: tuple[str, ...] = ("PER", "ORG", "LOC", "MISC")
+OUTSIDE = "O"
+LABELS: tuple[str, ...] = (OUTSIDE,) + tuple(
+    f"{prefix}-{t}" for t in ENTITY_TYPES for prefix in ("B", "I")
+)
+LABEL_DOMAIN = Domain("conll-bio", LABELS)
+
+
+def begin_label(entity: str) -> str:
+    if entity not in ENTITY_TYPES:
+        raise DomainError(f"unknown entity type {entity!r}")
+    return f"B-{entity}"
+
+
+def inside_label(entity: str) -> str:
+    if entity not in ENTITY_TYPES:
+        raise DomainError(f"unknown entity type {entity!r}")
+    return f"I-{entity}"
+
+
+def is_begin(label: str) -> bool:
+    return label.startswith("B-")
+
+
+def is_inside(label: str) -> bool:
+    return label.startswith("I-")
+
+
+def entity_type(label: str) -> Optional[str]:
+    """The entity type of a label, or ``None`` for ``O``."""
+    if label == OUTSIDE:
+        return None
+    return label[2:]
+
+
+def is_valid_transition(prev: Optional[str], label: str) -> bool:
+    """BIO constraint: ``I-T`` requires the previous label to be ``B-T``
+    or ``I-T`` (``prev=None`` encodes sentence/document start)."""
+    if not is_inside(label):
+        return True
+    if prev is None:
+        return False
+    return entity_type(prev) == entity_type(label) and (
+        is_begin(prev) or is_inside(prev)
+    )
+
+
+def is_valid_sequence(labels: Sequence[str]) -> bool:
+    prev: Optional[str] = None
+    for label in labels:
+        if not is_valid_transition(prev, label):
+            return False
+        prev = label
+    return True
+
+
+def valid_labels_after(prev: Optional[str]) -> List[str]:
+    """All labels admissible after ``prev`` (Appendix 9.3's smarter jump
+    functions restrict proposals to this set)."""
+    return [label for label in LABELS if is_valid_transition(prev, label)]
+
+
+def decode_mentions(labels: Sequence[str]) -> List[Tuple[int, int, str]]:
+    """Extract mentions as ``(start, end_exclusive, entity_type)``.
+
+    Tolerant of invalid sequences (an ``I-T`` without a matching open
+    mention starts a new one), mirroring common evaluation practice.
+    """
+    mentions: List[Tuple[int, int, str]] = []
+    start: Optional[int] = None
+    current: Optional[str] = None
+    for i, label in enumerate(labels):
+        kind = entity_type(label)
+        if is_begin(label) or (is_inside(label) and kind != current):
+            if current is not None:
+                mentions.append((start, i, current))  # type: ignore[arg-type]
+            start, current = i, kind
+        elif label == OUTSIDE and current is not None:
+            mentions.append((start, i, current))  # type: ignore[arg-type]
+            start, current = None, None
+    if current is not None:
+        mentions.append((start, len(labels), current))  # type: ignore[arg-type]
+    return mentions
+
+
+def encode_mentions(
+    length: int, mentions: Iterable[Tuple[int, int, str]]
+) -> List[str]:
+    """Inverse of :func:`decode_mentions` for non-overlapping mentions."""
+    labels = [OUTSIDE] * length
+    for start, end, kind in mentions:
+        if not 0 <= start < end <= length:
+            raise DomainError(f"mention span ({start}, {end}) out of range")
+        if kind not in ENTITY_TYPES:
+            raise DomainError(f"unknown entity type {kind!r}")
+        if any(label != OUTSIDE for label in labels[start:end]):
+            raise DomainError("overlapping mentions")
+        labels[start] = begin_label(kind)
+        for i in range(start + 1, end):
+            labels[i] = inside_label(kind)
+    return labels

@@ -1,0 +1,292 @@
+"""The skip-chain CRF over the TOKEN relation (paper §5.1, Fig. 3).
+
+Four factor templates, exactly the paper's:
+
+* **emission** — observed string ↔ hidden label (plus a capitalization
+  shape feature);
+* **transition** — consecutive labels within a document (1st-order
+  Markov dependency);
+* **bias** — per-label frequency;
+* **skip** — labels of identical capitalized strings within the same
+  document ("if two tokens have the same string, they have an increased
+  likelihood of having the same label").  Skip edges make the graph
+  loopy: exact inference is intractable and loopy BP fails to converge
+  on such graphs, which is precisely why the paper samples.
+
+The graph is never unrolled globally; templates instantiate factors
+around changed variables on demand.  Weights may be fit in closed form
+from the TRUTH column (:func:`fit_generative_weights`) or trained with
+SampleRank (:mod:`repro.learn.samplerank`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, List, Tuple
+
+from repro.db.database import Database
+from repro.errors import GraphError
+from repro.fg.domain import Domain
+from repro.fg.graph import FactorGraph
+from repro.fg.templates import PairwiseTemplate, UnaryTemplate
+from repro.fg.variables import FieldVariable, HiddenVariable
+from repro.ie.ner.labels import LABEL_DOMAIN, LABELS, OUTSIDE
+
+__all__ = ["SkipChainNerModel", "fit_generative_weights"]
+
+from repro.fg.weights import Weights
+
+TOKEN_TABLE = "TOKEN"
+
+# Template names (weights are namespaced by these).
+EMISSION = "ner/emission"
+TRANSITION = "ner/transition"
+BIAS = "ner/bias"
+SKIP = "ner/skip"
+
+
+class SkipChainNerModel:
+    """Binds the TOKEN relation to a skip-chain CRF factor graph.
+
+    Parameters
+    ----------
+    db:
+        Database holding the TOKEN relation with attributes
+        (TOK_ID, DOC_ID, STRING, LABEL, TRUTH).
+    weights:
+        Shared parameter vector (empty weights = uniform model).
+    use_skip:
+        Include skip-chain factors (disable for the linear-chain
+        ablation).
+    skip_capitalized_only:
+        Restrict skip edges to capitalized strings (the standard
+        skip-chain recipe; bounds the degree of filler words like
+        "the").
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        weights: Weights | None = None,
+        use_skip: bool = True,
+        skip_capitalized_only: bool = True,
+        domain: Domain = LABEL_DOMAIN,
+    ):
+        self.db = db
+        self.weights = weights if weights is not None else Weights()
+        self.use_skip = use_skip
+        self.domain = domain
+
+        table = db.table(TOKEN_TABLE)
+        schema = table.schema
+        pos_tok = schema.position("TOK_ID")
+        pos_doc = schema.position("DOC_ID")
+        pos_str = schema.position("STRING")
+        pos_truth = schema.position("TRUTH")
+
+        rows = sorted(table.rows(), key=lambda r: r[pos_tok])
+        if not rows:
+            raise GraphError("TOKEN relation is empty")
+
+        self.variables: List[FieldVariable] = []
+        self._strings: Dict[Hashable, str] = {}
+        self._positions: Dict[Hashable, int] = {}
+        self.truth: Dict[Hashable, str] = {}
+        self.groups: Dict[int, List[FieldVariable]] = defaultdict(list)
+        by_doc: Dict[int, List[Tuple[int, FieldVariable]]] = defaultdict(list)
+
+        for row in rows:
+            variable = FieldVariable(db, TOKEN_TABLE, (row[pos_tok],), "LABEL", domain)
+            self.variables.append(variable)
+            self._strings[variable.name] = row[pos_str]
+            self.truth[variable.name] = row[pos_truth]
+            doc = row[pos_doc]
+            self.groups[doc].append(variable)
+            by_doc[doc].append((row[pos_tok], variable))
+
+        # Sequence adjacency (transitions) and same-string links (skips),
+        # both within documents only.
+        self._prev: Dict[Hashable, FieldVariable] = {}
+        self._next: Dict[Hashable, FieldVariable] = {}
+        self._skip: Dict[Hashable, List[FieldVariable]] = defaultdict(list)
+        for doc, entries in by_doc.items():
+            entries.sort(key=lambda e: e[0])
+            ordered = [v for _, v in entries]
+            for i, variable in enumerate(ordered):
+                self._positions[variable.name] = i
+                if i > 0:
+                    self._prev[variable.name] = ordered[i - 1]
+                if i + 1 < len(ordered):
+                    self._next[variable.name] = ordered[i + 1]
+            same_string: Dict[str, List[FieldVariable]] = defaultdict(list)
+            for variable in ordered:
+                string = self._strings[variable.name]
+                if skip_capitalized_only and not string[:1].isupper():
+                    continue
+                same_string[string].append(variable)
+            for mates in same_string.values():
+                if len(mates) < 2:
+                    continue
+                for variable in mates:
+                    self._skip[variable.name] = [
+                        m for m in mates if m is not variable
+                    ]
+
+        self.templates = self._build_templates()
+        self.graph = FactorGraph(self.variables, self.templates)
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    def string_of(self, variable: HiddenVariable) -> str:
+        return self._strings[variable.name]
+
+    def position_of(self, variable: HiddenVariable) -> int:
+        return self._positions[variable.name]
+
+    def skip_neighbors(self, variable: HiddenVariable) -> List[FieldVariable]:
+        return self._skip.get(variable.name, [])
+
+    # ------------------------------------------------------------------
+    # Templates
+    # ------------------------------------------------------------------
+    def _build_templates(self):
+        strings = self._strings
+        positions = self._positions
+
+        def emission_features(variable: HiddenVariable):
+            string = strings[variable.name]
+            label = variable.value
+            return {
+                ("emit", string, label): 1.0,
+                ("cap", string[:1].isupper(), label): 1.0,
+            }
+
+        def bias_features(variable: HiddenVariable):
+            return {("bias", variable.value): 1.0}
+
+        def chain_neighbors(variable: HiddenVariable):
+            prev = self._prev.get(variable.name)
+            nxt = self._next.get(variable.name)
+            if prev is not None:
+                yield prev
+            if nxt is not None:
+                yield nxt
+
+        def transition_features(a: HiddenVariable, b: HiddenVariable):
+            # Direction follows document order regardless of the
+            # template's canonical endpoint ordering.
+            if positions[a.name] < positions[b.name]:
+                return {("trans", a.value, b.value): 1.0}
+            return {("trans", b.value, a.value): 1.0}
+
+        def skip_neighbors(variable: HiddenVariable):
+            return self._skip.get(variable.name, ())
+
+        def skip_features(a: HiddenVariable, b: HiddenVariable):
+            if a.value == b.value:
+                return {("skip", "same"): 1.0}
+            return {("skip", "diff"): 1.0}
+
+        templates = [
+            UnaryTemplate(EMISSION, self.weights, emission_features),
+            UnaryTemplate(BIAS, self.weights, bias_features),
+            PairwiseTemplate(
+                TRANSITION, self.weights, chain_neighbors, transition_features
+            ),
+        ]
+        if self.use_skip:
+            templates.append(
+                PairwiseTemplate(SKIP, self.weights, skip_neighbors, skip_features)
+            )
+        return templates
+
+    # ------------------------------------------------------------------
+    # World manipulation
+    # ------------------------------------------------------------------
+    def reset_labels(self, label: str = OUTSIDE) -> None:
+        """Set every hidden label (memory and database) to ``label`` —
+        the paper initializes LABEL to 'O'."""
+        for variable in self.variables:
+            variable.set_value(label)
+            variable.flush()
+
+    def accuracy_against_truth(self) -> float:
+        """Token accuracy of the current world against TRUTH."""
+        correct = sum(
+            1 for v in self.variables if v.value == self.truth[v.name]
+        )
+        return correct / len(self.variables)
+
+    def num_skip_edges(self) -> int:
+        return sum(len(mates) for mates in self._skip.values()) // 2
+
+
+def fit_generative_weights(
+    db: Database,
+    scale: float = 2.0,
+    skip_strength: float = 0.75,
+    smoothing: float = 0.1,
+) -> Weights:
+    """Closed-form weights from the TRUTH column's empirical statistics.
+
+    Emission weights get ``scale * log P(label | string)``, transitions
+    ``scale * log P(label' | label)``, biases ``log P(label)`` — i.e. an
+    HMM-style fit reused as CRF weights — and the skip template rewards
+    same-label assignments of repeated strings.  Deterministic and fast
+    (one scan of TOKEN); SampleRank training is the alternative when
+    gold statistics should not be read directly.
+    """
+    table = db.table(TOKEN_TABLE)
+    schema = table.schema
+    pos_tok = schema.position("TOK_ID")
+    pos_doc = schema.position("DOC_ID")
+    pos_str = schema.position("STRING")
+    pos_truth = schema.position("TRUTH")
+    rows = sorted(table.rows(), key=lambda r: r[pos_tok])
+
+    string_label = Counter()
+    string_total = Counter()
+    transitions = Counter()
+    label_total = Counter()
+    previous: tuple[int, str] | None = None  # (doc, label)
+    for row in rows:
+        string, label, doc = row[pos_str], row[pos_truth], row[pos_doc]
+        string_label[(string, label)] += 1
+        string_total[string] += 1
+        label_total[label] += 1
+        if previous is not None and previous[0] == doc:
+            transitions[(previous[1], label)] += 1
+        previous = (doc, label)
+
+    weights = Weights()
+    num_labels = len(LABELS)
+    # Log-probability weights are negative, so every (string, label) and
+    # (label, label) combination must receive a weight: leaving unseen
+    # combinations at the default 0 (= log 1) would make them *preferred*.
+    for string in string_total:
+        for label in LABELS:
+            probability = (string_label[(string, label)] + smoothing) / (
+                string_total[string] + smoothing * num_labels
+            )
+            weights.set(
+                EMISSION, ("emit", string, label), scale * math.log(probability)
+            )
+    total_labels = sum(label_total.values())
+    for label in LABELS:
+        probability = (label_total[label] + smoothing) / (
+            total_labels + smoothing * num_labels
+        )
+        weights.set(BIAS, ("bias", label), math.log(probability))
+    for prev in LABELS:
+        for label in LABELS:
+            probability = (transitions[(prev, label)] + smoothing) / (
+                label_total[prev] + smoothing * num_labels
+            )
+            weights.set(
+                TRANSITION, ("trans", prev, label), scale * math.log(probability)
+            )
+    weights.set(SKIP, ("skip", "same"), skip_strength)
+    weights.set(SKIP, ("skip", "diff"), -skip_strength)
+    return weights

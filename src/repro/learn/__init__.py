@@ -1,0 +1,16 @@
+"""Parameter learning: SampleRank and training objectives.
+
+The paper avoids hand-tuned weights by learning them with SampleRank
+(§3, §5.2) — a perceptron-style update applied whenever the model's
+ranking of two neighbouring worlds disagrees with the supervision.
+"""
+
+from repro.learn.objective import HammingObjective, Objective
+from repro.learn.samplerank import SampleRankTrainer, TrainingStats
+
+__all__ = [
+    "HammingObjective",
+    "Objective",
+    "SampleRankTrainer",
+    "TrainingStats",
+]

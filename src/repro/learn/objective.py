@@ -1,0 +1,74 @@
+"""Training objectives for SampleRank.
+
+SampleRank learns from *atomic gradients*: for every MH proposal it
+compares the model's ranking of ``(w, w')`` against an objective
+function's ranking.  Objectives therefore only need to score the
+*difference* between two neighbouring worlds, which keeps training
+steps O(|changed variables|).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping
+
+from repro.fg.variables import HiddenVariable
+
+__all__ = ["Objective", "HammingObjective"]
+
+
+class Objective:
+    """Base class: a preference function over possible worlds."""
+
+    def delta(self, changes: Dict[HiddenVariable, Any]) -> float:
+        """Objective improvement of applying ``changes``.
+
+        Called *before* the changes are applied, so ``variable.value``
+        is the old value and the mapping holds the proposed values.
+        Positive means the proposed world is preferred.
+        """
+        raise NotImplementedError
+
+    def score(self, variables: Iterable[HiddenVariable]) -> float:
+        """Absolute objective value of the current assignment (used for
+        reporting; not required for training)."""
+        raise NotImplementedError
+
+
+class HammingObjective(Objective):
+    """Negative Hamming distance to a ground-truth assignment.
+
+    ``truth`` maps variable names to their true values (for the NER
+    application: token primary key → TRUTH label).  Variables without
+    an entry contribute nothing.
+    """
+
+    def __init__(self, truth: Mapping[Hashable, Any]):
+        self._truth = dict(truth)
+
+    def delta(self, changes: Dict[HiddenVariable, Any]) -> float:
+        improvement = 0.0
+        for variable, new_value in changes.items():
+            true_value = self._truth.get(variable.name)
+            if true_value is None:
+                continue
+            improvement += (new_value == true_value) - (variable.value == true_value)
+        return improvement
+
+    def score(self, variables: Iterable[HiddenVariable]) -> float:
+        return -sum(
+            1.0
+            for v in variables
+            if self._truth.get(v.name) is not None and v.value != self._truth[v.name]
+        )
+
+    def accuracy(self, variables: Iterable[HiddenVariable]) -> float:
+        """Fraction of variables matching the truth (1.0 when perfect)."""
+        total = 0
+        correct = 0
+        for v in variables:
+            true_value = self._truth.get(v.name)
+            if true_value is None:
+                continue
+            total += 1
+            correct += v.value == true_value
+        return correct / total if total else 1.0

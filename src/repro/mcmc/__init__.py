@@ -1,0 +1,46 @@
+"""MCMC inference over the single stored possible world.
+
+Metropolis-Hastings (Algorithm 2 of the paper) with local delta
+scoring, proposal distributions including the paper's uniform label
+jump and document-batch schedule, a Gibbs kernel for ablations,
+clustering moves for entity resolution, and convergence diagnostics.
+"""
+
+from repro.mcmc.adaptive import AdaptiveChain
+from repro.mcmc.chain import MarkovChain
+from repro.mcmc.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+)
+from repro.mcmc.gibbs import GibbsSampler
+from repro.mcmc.metropolis import MetropolisHastings, MHStatistics, StepResult
+from repro.mcmc.proposal import (
+    BlockProposer,
+    Proposal,
+    ProposalDistribution,
+    UniformLabelProposer,
+)
+from repro.mcmc.schedule import RotatingBatchProposer
+from repro.mcmc.splitmerge import ClusterIndex
+from repro.mcmc.targeted import MixtureProposer, relevant_variables
+
+__all__ = [
+    "AdaptiveChain",
+    "BlockProposer",
+    "ClusterIndex",
+    "GibbsSampler",
+    "MHStatistics",
+    "MarkovChain",
+    "MetropolisHastings",
+    "MixtureProposer",
+    "Proposal",
+    "ProposalDistribution",
+    "RotatingBatchProposer",
+    "StepResult",
+    "UniformLabelProposer",
+    "autocorrelation",
+    "effective_sample_size",
+    "gelman_rubin",
+    "relevant_variables",
+]

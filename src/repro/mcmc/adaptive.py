@@ -1,0 +1,111 @@
+"""Adaptive thinning (paper §4.1, future work).
+
+§4.1: *"faced with the fact that each sample is non-trivial to compute
+(requires executing a query), we must balance the dependency of the
+samples with the expected costs of the queries.  Adaptively adjusting k
+to respond to these various issues is one type of optimization that may
+be applied."*
+
+:class:`AdaptiveChain` implements that optimization: it measures the
+wall-clock cost of the walk-steps and of each sample's query work, and
+re-tunes ``k`` so that query evaluation consumes a target fraction of
+total time.  Cheap queries (incrementally maintained views) get small
+``k`` — frequent, correlated samples are fine when nearly free; an
+expensive query (naive evaluation over a large world) pushes ``k`` up
+so the chain de-correlates between costly evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import InferenceError
+from repro.mcmc.chain import MarkovChain
+from repro.mcmc.metropolis import MetropolisHastings
+
+__all__ = ["AdaptiveChain"]
+
+
+class AdaptiveChain(MarkovChain):
+    """A Markov chain that re-tunes its thinning interval online.
+
+    Parameters
+    ----------
+    kernel:
+        The MH kernel to drive.
+    initial_k:
+        Starting thinning interval.
+    query_cost_target:
+        Desired fraction of wall-clock spent on query evaluation
+        (0 < target < 1).  With ``t_q`` the measured per-sample query
+        time and ``t_s`` the per-step time, the tuned interval is
+        ``k = t_q (1 − target) / (t_s · target)``, clamped to
+        ``[min_k, max_k]``.
+    """
+
+    def __init__(
+        self,
+        kernel: MetropolisHastings,
+        initial_k: int = 100,
+        query_cost_target: float = 0.5,
+        min_k: int = 10,
+        max_k: int = 100_000,
+        smoothing: float = 0.3,
+    ):
+        super().__init__(kernel, initial_k)
+        if not 0.0 < query_cost_target < 1.0:
+            raise InferenceError("query_cost_target must be in (0, 1)")
+        if not 0 < min_k <= max_k:
+            raise InferenceError("need 0 < min_k <= max_k")
+        self.query_cost_target = query_cost_target
+        self.min_k = min_k
+        self.max_k = max_k
+        self.smoothing = smoothing
+        self._step_seconds: float | None = None
+        self._query_seconds: float | None = None
+        self._sample_started: float | None = None
+        self.retunes = 0
+
+    # ------------------------------------------------------------------
+    def advance(self) -> None:
+        """Run ``k`` steps, timing them; then start the query clock.
+
+        The time between :meth:`advance` returning and the next call is
+        attributed to query evaluation (that is exactly what evaluators
+        do between samples).
+        """
+        now = time.perf_counter()
+        if self._sample_started is not None:
+            observed = now - self._sample_started
+            self._query_seconds = self._blend(self._query_seconds, observed)
+            self._retune()
+        started = now
+        self.kernel.run(self.steps_per_sample)
+        finished = time.perf_counter()
+        per_step = (finished - started) / self.steps_per_sample
+        self._step_seconds = self._blend(self._step_seconds, per_step)
+        self._sample_started = finished
+
+    def _blend(self, previous: float | None, observed: float) -> float:
+        if previous is None:
+            return observed
+        return (1 - self.smoothing) * previous + self.smoothing * observed
+
+    def _retune(self) -> None:
+        if not self._step_seconds or self._query_seconds is None:
+            return
+        target = self.query_cost_target
+        ideal = self._query_seconds * (1 - target) / (self._step_seconds * target)
+        new_k = max(self.min_k, min(self.max_k, int(round(ideal)) or self.min_k))
+        if new_k != self.steps_per_sample:
+            self.steps_per_sample = new_k
+            self.retunes += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_step_seconds(self) -> float | None:
+        return self._step_seconds
+
+    @property
+    def measured_query_seconds(self) -> float | None:
+        return self._query_seconds

@@ -1,0 +1,78 @@
+"""MCMC convergence diagnostics.
+
+Beyond the paper's loss-versus-time plots, the library ships standard
+diagnostics so users can judge mixing quantitatively:
+
+* :func:`autocorrelation` / :func:`effective_sample_size` for a single
+  scalar trace;
+* :func:`gelman_rubin` (potential scale reduction, R̂) across parallel
+  chains — directly relevant to the parallelization experiment (§5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import InferenceError
+
+__all__ = ["autocorrelation", "effective_sample_size", "gelman_rubin"]
+
+
+def autocorrelation(trace: Sequence[float], lag: int) -> float:
+    """Sample autocorrelation of ``trace`` at ``lag``."""
+    n = len(trace)
+    if lag < 0 or lag >= n:
+        raise InferenceError(f"lag {lag} out of range for trace of length {n}")
+    mean = sum(trace) / n
+    centered = [x - mean for x in trace]
+    denominator = sum(c * c for c in centered)
+    if denominator == 0.0:
+        return 1.0 if lag == 0 else 0.0
+    numerator = sum(centered[i] * centered[i + lag] for i in range(n - lag))
+    return numerator / denominator
+
+
+def effective_sample_size(trace: Sequence[float], max_lag: int | None = None) -> float:
+    """Initial-positive-sequence estimator of the effective sample size.
+
+    Sums autocorrelations until the first non-positive value (Geyer's
+    truncation), then returns ``n / (1 + 2 * sum_rho)``.
+    """
+    n = len(trace)
+    if n < 2:
+        return float(n)
+    if max_lag is None:
+        max_lag = min(n - 1, 1000)
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = autocorrelation(trace, lag)
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    return n / (1.0 + 2.0 * rho_sum)
+
+
+def gelman_rubin(chains: List[Sequence[float]]) -> float:
+    """Potential scale reduction factor R̂ over ≥2 equal-length chains.
+
+    Values near 1 indicate the chains have mixed; values well above 1
+    mean more samples (or better jumps) are needed.
+    """
+    m = len(chains)
+    if m < 2:
+        raise InferenceError("Gelman-Rubin needs at least two chains")
+    n = len(chains[0])
+    if n < 2 or any(len(c) != n for c in chains):
+        raise InferenceError("chains must share a length of at least two")
+    means = [sum(c) / n for c in chains]
+    grand = sum(means) / m
+    b = n / (m - 1) * sum((mu - grand) ** 2 for mu in means)
+    w = sum(
+        sum((x - mu) ** 2 for x in chain) / (n - 1)
+        for chain, mu in zip(chains, means)
+    ) / m
+    if w == 0.0:
+        return 1.0
+    var_plus = (n - 1) / n * w + b / n
+    return math.sqrt(var_plus / w)

@@ -1,0 +1,90 @@
+"""Gibbs sampling — a rejection-free alternative kernel.
+
+Not used by the paper's experiments (which use Metropolis-Hastings
+random walks), but a natural extension: resampling a variable from its
+exact local conditional often mixes faster per step at the cost of
+scoring every domain value.  Exposed for ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from repro.errors import InferenceError
+from repro.fg.graph import FactorGraph
+from repro.fg.variables import FieldVariable, HiddenVariable
+from repro.rng import make_rng
+
+__all__ = ["GibbsSampler"]
+
+
+class GibbsSampler:
+    """Systematic-scan or random-scan Gibbs over hidden variables."""
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        variables: Sequence[HiddenVariable] | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        random_scan: bool = True,
+    ):
+        self.graph = graph
+        self.variables: List[HiddenVariable] = list(
+            variables if variables is not None else graph.variables
+        )
+        if not self.variables:
+            raise InferenceError("Gibbs sampler needs at least one variable")
+        self.rng = rng if rng is not None else make_rng(seed)
+        self.random_scan = random_scan
+        self._scan_position = 0
+        self.steps = 0
+
+    def conditional(self, variable: HiddenVariable) -> List[float]:
+        """The exact conditional distribution of ``variable`` given the
+        rest, in domain order."""
+        saved = variable.value
+        scores: List[float] = []
+        try:
+            for value in variable.domain:
+                variable.set_value(value)
+                scores.append(self.graph.local_score([variable]))
+        finally:
+            variable.set_value(saved)
+        peak = max(scores)
+        if peak == float("-inf"):
+            raise InferenceError(
+                f"all values of {variable.name!r} have zero probability"
+            )
+        weights = [math.exp(s - peak) for s in scores]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    def step(self) -> HiddenVariable:
+        """Resample one variable from its conditional; returns it."""
+        if self.random_scan:
+            variable = self.variables[self.rng.randrange(len(self.variables))]
+        else:
+            variable = self.variables[self._scan_position]
+            self._scan_position = (self._scan_position + 1) % len(self.variables)
+        probabilities = self.conditional(variable)
+        pick = self.rng.random()
+        cumulative = 0.0
+        chosen = variable.domain.values[-1]
+        for value, probability in zip(variable.domain, probabilities):
+            cumulative += probability
+            if pick < cumulative:
+                chosen = value
+                break
+        if chosen != variable.value:
+            variable.set_value(chosen)
+            if isinstance(variable, FieldVariable):
+                variable.flush()
+        self.steps += 1
+        return variable
+
+    def run(self, num_steps: int) -> None:
+        for _ in range(num_steps):
+            self.step()

@@ -1,0 +1,138 @@
+"""The Metropolis-Hastings kernel (paper Algorithm 2).
+
+One :meth:`MetropolisHastings.step`:
+
+1. draw ``w' ~ q(.|w)`` from the proposal distribution;
+2. score only the factors adjacent to the touched variables, before
+   and after the change — the Appendix 9.2 cancellation makes this
+   O(|touched|), independent of database size;
+3. accept with probability ``min(1, pi(w')q(w|w') / pi(w)q(w'|w))``;
+4. on acceptance, flush changed :class:`~repro.fg.variables.FieldVariable`
+   values through to the database, where attached delta recorders pick
+   them up for view maintenance.
+
+All arithmetic is in log space; the normalizer ``Z_X`` cancels.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.fg.graph import FactorGraph
+from repro.fg.variables import FieldVariable, HiddenVariable
+from repro.mcmc.proposal import Proposal, ProposalDistribution
+from repro.rng import make_rng
+
+__all__ = ["StepResult", "MHStatistics", "MetropolisHastings"]
+
+
+@dataclass
+class StepResult:
+    """Outcome of one MH step."""
+
+    accepted: bool
+    log_acceptance: float
+    changed: Dict[HiddenVariable, Any]
+
+
+@dataclass
+class MHStatistics:
+    """Running counters over the lifetime of a kernel."""
+
+    proposals: int = 0
+    accepted: int = 0
+    noops: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.proposals == 0:
+            return 0.0
+        return self.accepted / self.proposals
+
+
+class MetropolisHastings:
+    """A random-walk MH sampler over a factor graph.
+
+    Parameters
+    ----------
+    graph:
+        The model; proposals are scored through its templates.
+    proposer:
+        The jump function ``q``.
+    seed / rng:
+        Either a seed (int) or an explicit :class:`random.Random`.
+    temperature:
+        Optional >0 scaling of the model score (1.0 = the paper's
+        sampler; <1 sharpens toward the MAP world, useful for
+        annealed decoding).
+    """
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        proposer: ProposalDistribution,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        temperature: float = 1.0,
+    ):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.graph = graph
+        self.proposer = proposer
+        self.rng = rng if rng is not None else make_rng(seed)
+        self.temperature = temperature
+        self.stats = MHStatistics()
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepResult:
+        """Execute one propose/accept/reject cycle."""
+        proposal = self.proposer.propose(self.rng)
+        self.stats.proposals += 1
+        changes = {
+            variable: value
+            for variable, value in proposal.changes.items()
+            if variable.value != value
+        }
+        if not changes:
+            # Self-transition: always accepted, nothing to write.
+            self.stats.accepted += 1
+            self.stats.noops += 1
+            return StepResult(True, 0.0, {})
+
+        touched = list(changes)
+        # Static-structure fast path: the factors adjacent to the
+        # touched variables are the same before and after the change,
+        # so instantiate them once and score twice.  Dynamic templates
+        # (coref cluster membership) require re-instantiation.
+        factors = self.graph.factors_touching(touched)
+        before = sum(f.score() for f in factors.values())
+        saved = {variable: variable.value for variable in touched}
+        for variable, value in changes.items():
+            variable.set_value(value)
+        if self.graph.has_dynamic_templates:
+            factors = self.graph.factors_touching(touched)
+        after = sum(f.score() for f in factors.values())
+
+        log_alpha = (after - before) / self.temperature
+        log_alpha += proposal.log_backward - proposal.log_forward
+        accepted = log_alpha >= 0 or math.log(self.rng.random()) < log_alpha
+
+        if accepted:
+            self.stats.accepted += 1
+            for variable in touched:
+                if isinstance(variable, FieldVariable):
+                    variable.flush()
+            return StepResult(True, log_alpha, changes)
+
+        for variable, value in saved.items():
+            variable.set_value(value)
+        return StepResult(False, log_alpha, {})
+
+    def run(self, num_steps: int) -> MHStatistics:
+        """Run ``num_steps`` (Algorithm 2's loop); returns statistics."""
+        for _ in range(num_steps):
+            self.step()
+        return self.stats

@@ -1,0 +1,100 @@
+"""Proposal distributions for Metropolis-Hastings.
+
+A proposal hypothesizes a *local* modification to the current possible
+world: a handful of variables and their new values, plus the log
+probabilities of proposing the move and its reverse (needed for the
+Hastings correction).  Proposers are constraint-preserving by
+construction (paper §3.4): they only generate worlds with positive
+probability, so deterministic constraint factors never need to be
+evaluated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence
+
+from repro.errors import InferenceError
+from repro.fg.variables import HiddenVariable
+
+__all__ = ["Proposal", "ProposalDistribution", "UniformLabelProposer", "BlockProposer"]
+
+
+@dataclass
+class Proposal:
+    """One hypothesized world modification.
+
+    ``changes`` maps variables to proposed values (which may equal the
+    current value — a self-transition).  ``log_forward`` is
+    ``log q(w'|w)`` and ``log_backward`` is ``log q(w|w')``; symmetric
+    proposers leave both at 0 since only the difference matters.
+    """
+
+    changes: Dict[HiddenVariable, Any]
+    log_forward: float = 0.0
+    log_backward: float = 0.0
+
+    def is_noop(self) -> bool:
+        return all(v.value == new for v, new in self.changes.items())
+
+
+class ProposalDistribution:
+    """Base class: generates proposals given an RNG."""
+
+    def propose(self, rng: random.Random) -> Proposal:
+        raise NotImplementedError
+
+
+class UniformLabelProposer(ProposalDistribution):
+    """The paper's NER jump function (§5.1).
+
+    Selects one hidden variable uniformly at random from the active set
+    and resamples its value uniformly from its domain.  Symmetric:
+    ``q(w'|w) = q(w|w')`` whenever both moves touch the same variable,
+    so the Hastings correction vanishes.
+    """
+
+    def __init__(self, variables: Sequence[HiddenVariable]):
+        if not variables:
+            raise InferenceError("proposer needs a non-empty variable set")
+        self._variables = list(variables)
+
+    @property
+    def variables(self) -> list[HiddenVariable]:
+        return self._variables
+
+    def set_variables(self, variables: Sequence[HiddenVariable]) -> None:
+        if not variables:
+            raise InferenceError("proposer needs a non-empty variable set")
+        self._variables = list(variables)
+
+    def propose(self, rng: random.Random) -> Proposal:
+        variable = self._variables[rng.randrange(len(self._variables))]
+        value = variable.domain.values[rng.randrange(len(variable.domain))]
+        return Proposal({variable: value})
+
+
+class BlockProposer(ProposalDistribution):
+    """Resamples a small block of variables jointly.
+
+    Useful when single-variable moves mix slowly (e.g. flipping a B-
+    label and its continuation I-label together).  Uniform over blocks
+    and over joint values, hence symmetric.
+    """
+
+    def __init__(self, blocks: Sequence[Sequence[HiddenVariable]]):
+        if not blocks:
+            raise InferenceError("block proposer needs at least one block")
+        self._blocks = [list(b) for b in blocks]
+        for block in self._blocks:
+            if not block:
+                raise InferenceError("blocks must be non-empty")
+
+    def propose(self, rng: random.Random) -> Proposal:
+        block = self._blocks[rng.randrange(len(self._blocks))]
+        changes = {
+            variable: variable.domain.values[rng.randrange(len(variable.domain))]
+            for variable in block
+        }
+        return Proposal(changes)

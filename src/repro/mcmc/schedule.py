@@ -1,0 +1,83 @@
+"""Proposal scheduling: the paper's document-batch regime.
+
+§5.1: *"This process is repeated for 2000 proposals before L is changed
+by loading a new batch of variables from the database: up to five
+documents worth of variables may be selected (documents are selected
+uniformly at random from the database)."*
+
+:class:`RotatingBatchProposer` wraps a base proposer, restricting it to
+the variables of a small random batch of groups (documents) and
+re-drawing the batch every ``proposals_per_batch`` proposals.  Keeping
+the active set small improves locality — the in-memory variable set
+stays bounded regardless of database size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence
+
+from repro.errors import InferenceError
+from repro.fg.variables import HiddenVariable
+from repro.mcmc.proposal import Proposal, ProposalDistribution, UniformLabelProposer
+
+__all__ = ["RotatingBatchProposer"]
+
+
+class RotatingBatchProposer(ProposalDistribution):
+    """Uniform label proposals over a rotating batch of variable groups.
+
+    Parameters
+    ----------
+    groups:
+        Mapping from group id (e.g. ``DOC_ID``) to that group's hidden
+        variables.
+    batch_size:
+        Number of groups active at once (the paper uses up to 5).
+    proposals_per_batch:
+        Proposals drawn before rotating to a fresh batch (paper: 2000).
+    """
+
+    def __init__(
+        self,
+        groups: Dict[Hashable, Sequence[HiddenVariable]],
+        batch_size: int = 5,
+        proposals_per_batch: int = 2000,
+    ):
+        if not groups:
+            raise InferenceError("need at least one variable group")
+        if batch_size < 1 or proposals_per_batch < 1:
+            raise InferenceError("batch_size and proposals_per_batch must be >= 1")
+        self._group_ids: List[Hashable] = sorted(groups, key=repr)
+        self._groups = {g: list(vs) for g, vs in groups.items()}
+        for g, vs in self._groups.items():
+            if not vs:
+                raise InferenceError(f"group {g!r} has no variables")
+        self.batch_size = batch_size
+        self.proposals_per_batch = proposals_per_batch
+        self._inner: UniformLabelProposer | None = None
+        self._since_rotation = 0
+        self.rotations = 0
+
+    @property
+    def active_variables(self) -> list[HiddenVariable]:
+        return self._inner.variables if self._inner is not None else []
+
+    def _rotate(self, rng: random.Random) -> None:
+        count = min(self.batch_size, len(self._group_ids))
+        chosen = rng.sample(self._group_ids, count)
+        variables: list[HiddenVariable] = []
+        for group in chosen:
+            variables.extend(self._groups[group])
+        if self._inner is None:
+            self._inner = UniformLabelProposer(variables)
+        else:
+            self._inner.set_variables(variables)
+        self._since_rotation = 0
+        self.rotations += 1
+
+    def propose(self, rng: random.Random) -> Proposal:
+        if self._inner is None or self._since_rotation >= self.proposals_per_batch:
+            self._rotate(rng)
+        self._since_rotation += 1
+        return self._inner.propose(rng)

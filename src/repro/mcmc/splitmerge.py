@@ -1,0 +1,111 @@
+"""Clustering state and constraint-preserving cluster moves.
+
+The entity-resolution model (paper Fig. 1, bottom row) clusters mention
+variables into entities.  Transitivity is a deterministic constraint; a
+cubic number of constraint factors is avoided by using proposers that
+only generate valid clusterings (paper §3.4: the split-merge proposer
+is constraint-preserving).
+
+:class:`ClusterIndex` maintains the cluster→members map for variables
+whose *value* is their cluster id, and provides the two moves the
+coref application uses:
+
+* **move** — relocate one mention to an existing cluster or to a fresh
+  singleton (exact Hastings ratios are simple, see
+  :mod:`repro.ie.coref.proposals`);
+* **split / merge** — split a random cluster in two, or merge two
+  clusters (the paper's example proposer).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence, Set
+
+from repro.errors import InferenceError
+from repro.fg.variables import HiddenVariable
+
+__all__ = ["ClusterIndex"]
+
+
+class ClusterIndex:
+    """Tracks which variables currently share each cluster id.
+
+    The index is *derived* state: it mirrors the variables' current
+    values and must be notified of accepted changes via
+    :meth:`rebuild` or :meth:`apply_change`.
+    """
+
+    def __init__(self, variables: Sequence[HiddenVariable]):
+        if not variables:
+            raise InferenceError("cluster index needs at least one variable")
+        self.variables: List[HiddenVariable] = list(variables)
+        self._members: Dict[Hashable, Set[HiddenVariable]] = {}
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        self._members = {}
+        for variable in self.variables:
+            self._members.setdefault(variable.value, set()).add(variable)
+
+    def apply_change(self, variable: HiddenVariable, old_value: Hashable) -> None:
+        """Update the index after ``variable`` moved from ``old_value``
+        to its current value."""
+        members = self._members.get(old_value)
+        if members is not None:
+            members.discard(variable)
+            if not members:
+                del self._members[old_value]
+        self._members.setdefault(variable.value, set()).add(variable)
+
+    # ------------------------------------------------------------------
+    def cluster_ids(self) -> List[Hashable]:
+        return list(self._members)
+
+    def members(self, cluster_id: Hashable) -> Set[HiddenVariable]:
+        return self._members.get(cluster_id, set())
+
+    def cluster_of(self, variable: HiddenVariable) -> Hashable:
+        return variable.value
+
+    def size(self, cluster_id: Hashable) -> int:
+        return len(self._members.get(cluster_id, ()))
+
+    def num_clusters(self) -> int:
+        return len(self._members)
+
+    def unused_id(self) -> Hashable:
+        """A cluster id not currently in use (ids are domain values)."""
+        domain = self.variables[0].domain
+        for value in domain:
+            if value not in self._members:
+                return value
+        raise InferenceError("no free cluster id available in the domain")
+
+    def random_pair(
+        self, rng: random.Random
+    ) -> tuple[HiddenVariable, HiddenVariable]:
+        """Two distinct variables, uniformly at random."""
+        if len(self.variables) < 2:
+            raise InferenceError("need at least two variables for pair moves")
+        i = rng.randrange(len(self.variables))
+        j = rng.randrange(len(self.variables) - 1)
+        if j >= i:
+            j += 1
+        return self.variables[i], self.variables[j]
+
+    def clustering(self) -> Dict[Hashable, frozenset]:
+        """Snapshot: cluster id → frozen set of variable names."""
+        return {
+            cluster: frozenset(v.name for v in members)
+            for cluster, members in self._members.items()
+        }
+
+    def partition(self) -> Set[frozenset]:
+        """The clustering as a set of blocks (id-free, for comparing
+        against gold partitions)."""
+        return {
+            frozenset(v.name for v in members)
+            for members in self._members.values()
+        }

@@ -1,0 +1,114 @@
+"""Query-targeted proposal distributions (paper §4.1, future work).
+
+§4.1: *"Another interesting scientific question is how to inject query
+specific knowledge directly into the proposal distribution.  For
+example, a query might target an isolated subset of the database, then
+the proposal distribution only has to sample this subset"* — suggested
+sources: domain experts, graph/query structure analysis, or learning.
+
+:class:`MixtureProposer` implements the structural variant: a biased
+mixture between a proposer over the query-relevant variables and a
+global proposer.  Because both components draw the variable and the new
+value from *fixed* sets (state-independent), the mixture kernel is
+symmetric and needs no Hastings correction; the global component keeps
+the chain ergodic over the full state space.
+
+:func:`relevant_variables` extracts the query-relevant variable subset
+by analysing plan predicates: a variable bound to an uncertain field is
+relevant if some selection in the plan constrains that field's column
+(any tuple's membership can flip when the field changes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from repro.db.ra.ast import (
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    PlanNode,
+    Select,
+)
+from repro.errors import InferenceError
+from repro.fg.variables import FieldVariable, HiddenVariable
+from repro.mcmc.proposal import Proposal, ProposalDistribution
+
+__all__ = ["MixtureProposer", "relevant_variables"]
+
+
+class MixtureProposer(ProposalDistribution):
+    """With probability ``focus`` propose from ``targeted``, else from
+    ``fallback``.
+
+    Both components must be symmetric proposers over fixed variable
+    sets (e.g. :class:`~repro.mcmc.proposal.UniformLabelProposer`); the
+    mixture probability is constant, so overall proposal probabilities
+    are state-independent and the kernel stays symmetric.
+    """
+
+    def __init__(
+        self,
+        targeted: ProposalDistribution,
+        fallback: ProposalDistribution,
+        focus: float = 0.8,
+    ):
+        if not 0.0 <= focus <= 1.0:
+            raise InferenceError("focus must be a probability")
+        self.targeted = targeted
+        self.fallback = fallback
+        self.focus = focus
+
+    def propose(self, rng: random.Random) -> Proposal:
+        if rng.random() < self.focus:
+            return self.targeted.propose(rng)
+        return self.fallback.propose(rng)
+
+
+def _constrained_columns(plan: PlanNode) -> set[str]:
+    """Lower-cased base column names appearing in any selection or join
+    predicate of ``plan``."""
+    columns: set[str] = set()
+
+    def from_expr(expr) -> None:
+        for col in expr.columns():
+            name = col.name.lower()
+            columns.add(name.rsplit(".", 1)[-1])
+
+    def visit(node: PlanNode) -> None:
+        if isinstance(node, Select):
+            from_expr(node.predicate)
+        condition = getattr(node, "condition", None)
+        if condition is not None:
+            from_expr(condition)
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return columns
+
+
+def relevant_variables(
+    plan: PlanNode,
+    variables: Sequence[HiddenVariable],
+    extra_filter: Callable[[HiddenVariable], bool] | None = None,
+) -> List[HiddenVariable]:
+    """Variables whose field is constrained by ``plan``'s predicates.
+
+    For field-bound variables the attribute name is matched against the
+    columns referenced by selections/join conditions.  ``extra_filter``
+    can narrow further with domain knowledge (e.g. only tokens of
+    documents mentioning a query constant).  Falls back to all
+    variables when the analysis finds nothing (a safe default).
+    """
+    constrained = _constrained_columns(plan)
+    relevant = [
+        variable
+        for variable in variables
+        if isinstance(variable, FieldVariable)
+        and variable.attr.lower() in constrained
+        and (extra_filter is None or extra_filter(variable))
+    ]
+    return relevant if relevant else list(variables)

@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Hypothesis: derandomized with generous deadlines so the suite is
+reproducible in CI and on slow machines (several property tests drive
+full view-maintenance or MCMC pipelines per example).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

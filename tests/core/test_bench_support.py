@@ -1,0 +1,112 @@
+"""Tests for the benchmark support package (queries, reporting, scaling)."""
+
+import pytest
+
+from repro.bench import (
+    QUERY1,
+    QUERY2,
+    QUERY3,
+    QUERY4,
+    fig4a_sizes,
+    fmt_seconds,
+    make_task,
+    print_header,
+    print_series,
+    print_table,
+    scale_factor,
+)
+from repro.bench.harness import measure_time_to_fraction, reference_marginals
+from repro.db import plan_query
+from repro.errors import EvaluationError
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("sql", [QUERY1, QUERY2, QUERY3, QUERY4])
+    def test_paper_queries_plan_against_token_schema(self, sql):
+        task = make_task(200, steps_per_sample=10)
+        instance = task.make_instance(1)
+        plan = plan_query(instance.db, sql)
+        assert plan.schema.arity >= 1
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "4")
+        assert scale_factor() == 4
+        assert fig4a_sizes() == [4_000, 20_000, 100_000]
+
+    def test_bad_scale_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "bananas")
+        assert scale_factor() == 1
+
+    def test_negative_scale_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-3")
+        assert scale_factor() == 1
+
+
+class TestReporting:
+    def test_print_table_alignment(self, capsys):
+        print_table(["col", "value"], [("a", 1), ("long-name", 22)])
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("col")
+        assert len(out) == 4
+
+    def test_print_header(self, capsys):
+        print_header("title")
+        out = capsys.readouterr().out
+        assert "title" in out
+        assert "=" in out
+
+    def test_print_series(self, capsys):
+        print_series("name", [(0.5, 1.0), (1.5, 0.25)])
+        out = capsys.readouterr().out
+        assert "name" in out and "0.25" in out
+
+    def test_fmt_seconds_ranges(self):
+        assert fmt_seconds(5e-7).endswith("us")
+        assert fmt_seconds(0.005).endswith("ms")
+        assert fmt_seconds(2.0) == "2.00s"
+        assert fmt_seconds(600).endswith("min")
+
+
+class TestHarness:
+    def test_reference_marginals_probabilities(self):
+        task = make_task(300, steps_per_sample=50)
+        truths = reference_marginals(
+            task, [QUERY1], num_chains=2, samples_per_chain=10
+        )
+        assert len(truths) == 1
+        assert all(0.0 <= p <= 1.0 for p in truths[0].values())
+
+    def test_measure_time_to_fraction_completes(self):
+        task = make_task(300, steps_per_sample=50)
+        truth = reference_marginals(
+            task, [QUERY1], num_chains=2, samples_per_chain=40
+        )[0]
+        result = measure_time_to_fraction(
+            task, QUERY1, "materialized", 5, truth, fraction=0.9, max_samples=2000
+        )
+        assert result["seconds"] > 0
+        assert result["final_loss"] <= result["initial_loss"] * 0.9
+
+    def test_measure_time_to_fraction_budget_exhausted(self):
+        task = make_task(300, steps_per_sample=50)
+        truth = reference_marginals(
+            task, [QUERY1], num_chains=2, samples_per_chain=40
+        )[0]
+        assert truth, "reference must be non-empty for a meaningful target"
+        with pytest.raises(EvaluationError, match="did not reach"):
+            measure_time_to_fraction(
+                task,
+                QUERY1,
+                "naive",
+                5,
+                truth,
+                fraction=1e-9,
+                max_samples=3,
+                chunk=1,
+            )

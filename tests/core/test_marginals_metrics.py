@@ -1,0 +1,129 @@
+"""Tests for marginal estimators and loss metrics."""
+
+import pytest
+
+from repro.db.multiset import Multiset
+from repro.errors import EvaluationError
+from repro.core import (
+    MarginalEstimator,
+    normalize_series,
+    squared_error,
+    time_to_fraction,
+    time_to_half,
+)
+
+
+def ms(*rows):
+    return Multiset(list(rows))
+
+
+class TestMarginalEstimator:
+    def test_probability_counts(self):
+        est = MarginalEstimator()
+        est.record(ms(("a",), ("b",)))
+        est.record(ms(("a",)))
+        assert est.probability(("a",)) == 1.0
+        assert est.probability(("b",)) == 0.5
+        assert est.probability(("zzz",)) == 0.0
+        assert est.num_samples == 2
+
+    def test_multiplicity_counts_once_per_sample(self):
+        est = MarginalEstimator()
+        answer = Multiset()
+        answer.add(("a",), 5)  # five duplicate projections of one sample
+        est.record(answer)
+        assert est.probability(("a",)) == 1.0
+
+    def test_negative_or_zero_counts_excluded(self):
+        est = MarginalEstimator()
+        answer = Multiset()
+        answer.add(("gone",), 0)
+        answer.add(("neg",), -2)
+        answer.add(("there",), 1)
+        est.record(answer)
+        assert est.probability(("there",)) == 1.0
+        assert est.probability(("neg",)) == 0.0
+
+    def test_empty_estimator_raises(self):
+        with pytest.raises(EvaluationError):
+            MarginalEstimator().probabilities()
+
+    def test_merge_pools_counts(self):
+        a = MarginalEstimator()
+        a.record(ms(("x",)))
+        b = MarginalEstimator()
+        b.record(ms(("y",)))
+        b.record(ms(("y",)))
+        a.merge(b)
+        assert a.num_samples == 3
+        assert a.probability(("y",)) == pytest.approx(2 / 3)
+
+    def test_top(self):
+        est = MarginalEstimator()
+        est.record(ms(("a",), ("b",)))
+        est.record(ms(("a",)))
+        top = est.top(1)
+        assert top == [(("a",), 1.0)]
+
+    def test_deterministic_rows(self):
+        est = MarginalEstimator()
+        est.record(ms(("a",), ("b",)))
+        est.record(ms(("a",)))
+        assert est.deterministic_rows() == [("a",)]
+
+    def test_expected_value_and_histogram(self):
+        est = MarginalEstimator()
+        est.record(ms((10,)))
+        est.record(ms((20,)))
+        est.record(ms((20,)))
+        assert est.expected_value() == pytest.approx(50 / 3)
+        histogram = est.as_histogram()
+        assert histogram[10] == pytest.approx(1 / 3)
+        assert histogram[20] == pytest.approx(2 / 3)
+
+    def test_expected_value_non_numeric(self):
+        est = MarginalEstimator()
+        est.record(ms(("a",)))
+        with pytest.raises(EvaluationError):
+            est.expected_value()
+
+    def test_copy_independent(self):
+        a = MarginalEstimator()
+        a.record(ms(("x",)))
+        b = a.copy()
+        b.record(ms(("x",)))
+        assert a.num_samples == 1
+
+
+class TestMetrics:
+    def test_squared_error_union_of_keys(self):
+        estimate = {("a",): 0.5, ("b",): 1.0}
+        truth = {("a",): 1.0, ("c",): 0.25}
+        expected = 0.25 + 1.0 + 0.0625
+        assert squared_error(estimate, truth) == pytest.approx(expected)
+
+    def test_squared_error_identical(self):
+        marginals = {("a",): 0.3}
+        assert squared_error(marginals, marginals) == 0.0
+
+    def test_normalize_series(self):
+        assert normalize_series([2.0, 1.0, 0.5]) == [1.0, 0.5, 0.25]
+        assert normalize_series([]) == []
+        assert normalize_series([0.0, 0.0]) == [0.0, 0.0]
+
+    def test_time_to_half(self):
+        trace = [(0.0, 8.0), (1.0, 5.0), (2.0, 4.0), (3.0, 1.0)]
+        assert time_to_half(trace) == 2.0
+
+    def test_time_to_fraction_initial_zero(self):
+        assert time_to_fraction([(0.5, 0.0)], 0.5) == 0.5
+
+    def test_time_to_fraction_never_reached(self):
+        with pytest.raises(EvaluationError, match="never reached"):
+            time_to_half([(0.0, 8.0), (1.0, 7.0)])
+
+    def test_time_to_fraction_validation(self):
+        with pytest.raises(EvaluationError):
+            time_to_half([])
+        with pytest.raises(EvaluationError):
+            time_to_fraction([(0.0, 1.0)], 0.0)

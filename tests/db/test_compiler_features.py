@@ -1,0 +1,163 @@
+"""Compiler behaviours beyond the paper's four queries."""
+
+import pytest
+
+from repro.db import AttrType, Database, Schema, plan_query, query, query_rows
+from repro.db.ra.ast import Join, Project, Scan, Select
+from repro.errors import QueryError
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        Schema.build(
+            "CITY",
+            [("NAME", AttrType.STRING), ("STATE", AttrType.STRING), ("POP", AttrType.INT)],
+            key=["NAME"],
+        )
+    )
+    db.create_table(
+        Schema.build(
+            "TEAM",
+            [("TEAM", AttrType.STRING), ("CITY", AttrType.STRING), ("WINS", AttrType.INT)],
+            key=["TEAM"],
+        )
+    )
+    db.insert_many(
+        "CITY",
+        [("Boston", "MA", 675), ("Worcester", "MA", 206), ("Hartford", "CT", 121)],
+    )
+    db.insert_many(
+        "TEAM",
+        [("Red Sox", "Boston", 92), ("Celtics", "Boston", 57), ("Wolves", "Hartford", 41)],
+    )
+    return db
+
+
+class TestOrderByResolution:
+    def test_order_by_output_alias(self):
+        db = make_db()
+        rows = query_rows(db, "SELECT NAME AS n FROM CITY ORDER BY n")
+        assert rows == [("Boston",), ("Hartford",), ("Worcester",)]
+
+    def test_order_by_source_column_through_projection(self):
+        db = make_db()
+        rows = query_rows(
+            db,
+            "SELECT T.TEAM FROM TEAM T JOIN CITY C ON T.CITY = C.NAME "
+            "ORDER BY T.TEAM DESC",
+        )
+        assert rows == [("Wolves",), ("Red Sox",), ("Celtics",)]
+
+    def test_order_by_aggregate(self):
+        db = make_db()
+        rows = query_rows(
+            db,
+            "SELECT CITY, COUNT(*) FROM TEAM GROUP BY CITY ORDER BY COUNT(*) DESC",
+        )
+        assert rows[0] == ("Boston", 2)
+
+    def test_order_by_unknown_rejected(self):
+        db = make_db()
+        with pytest.raises(QueryError):
+            query_rows(db, "SELECT NAME FROM CITY ORDER BY POP + 999999")
+
+
+class TestNameDeduplication:
+    def test_duplicate_default_names_suffixed(self):
+        db = make_db()
+        plan = plan_query(db, "SELECT C.NAME, T.CITY, C.NAME FROM CITY C, TEAM T")
+        assert plan.schema.attribute_names == ("NAME", "CITY", "NAME_2")
+
+    def test_self_join_pair_output(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT T1.TEAM, T2.TEAM FROM TEAM T1, TEAM T2 "
+            "WHERE T1.CITY = T2.CITY AND T1.TEAM < T2.TEAM",
+        )
+        assert answer.support_set() == {("Celtics", "Red Sox")}
+
+
+class TestPushdownShapes:
+    def test_single_table_filters_pushed_below_join(self):
+        db = make_db()
+        plan = plan_query(
+            db,
+            "SELECT T.TEAM FROM TEAM T, CITY C "
+            "WHERE T.CITY = C.NAME AND C.POP > 200 AND T.WINS > 50",
+        )
+        # Expect Project(Join(Select(Scan), Select(Scan))).
+        assert isinstance(plan, Project)
+        join = plan.child
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Select)
+        assert isinstance(join.left.child, Scan)
+        assert isinstance(join.right, Select)
+        assert isinstance(join.right.child, Scan)
+
+    def test_explicit_join_keeps_condition(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT T.TEAM, C.STATE FROM TEAM T JOIN CITY C ON T.CITY = C.NAME "
+            "WHERE C.STATE = 'MA'",
+        )
+        assert answer.support_set() == {("Red Sox", "MA"), ("Celtics", "MA")}
+
+    def test_cross_join_when_no_link(self):
+        db = make_db()
+        answer = query(db, "SELECT C.NAME, T.TEAM FROM CITY C, TEAM T")
+        assert len(answer) == 9
+
+
+class TestMixedAggregates:
+    def test_expression_over_aggregates(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT CITY, MAX(WINS) - MIN(WINS) FROM TEAM GROUP BY CITY",
+        )
+        assert answer.support_set() == {("Boston", 35), ("Hartford", 0)}
+
+    def test_having_on_unprojected_aggregate(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT CITY FROM TEAM GROUP BY CITY HAVING SUM(WINS) > 100",
+        )
+        assert answer.support_set() == {("Boston",)}
+
+    def test_group_by_expression(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT POP / 100, COUNT(*) FROM CITY GROUP BY POP / 100",
+        )
+        # POP/100 is float division: 6.75, 2.06, 1.21 — three groups.
+        assert len(answer) == 3
+
+    def test_duplicate_agg_calls_computed_once(self):
+        db = make_db()
+        plan = plan_query(
+            db,
+            "SELECT COUNT(*), COUNT(*) FROM TEAM",
+        )
+        from repro.db.ra.ast import GroupAggregate
+
+        agg = plan.child
+        assert isinstance(agg, GroupAggregate)
+        assert len(agg.aggregates) == 1
+
+
+class TestSelectStar:
+    def test_star_hides_internal_columns(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT * FROM CITY WHERE "
+            "(SELECT COUNT(*) FROM TEAM T WHERE T.CITY = CITY.NAME) >= 1",
+        )
+        rows = list(answer.support())
+        assert all(len(row) == 3 for row in rows)  # no __sq columns leak
+        assert {row[0] for row in rows} == {"Boston", "Hartford"}

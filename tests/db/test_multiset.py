@@ -1,0 +1,143 @@
+"""Unit and property tests for signed multisets (Z-relations)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.multiset import Multiset
+
+rows = st.tuples(st.integers(-3, 3), st.sampled_from(["a", "b", "c"]))
+counted = st.dictionaries(rows, st.integers(-4, 4), max_size=12)
+
+
+def ms(d):
+    return Multiset.from_counts(d)
+
+
+class TestBasics:
+    def test_empty(self):
+        m = Multiset()
+        assert m.is_empty()
+        assert len(m) == 0
+        assert m.count((1, "a")) == 0
+        assert (1, "a") not in m
+
+    def test_add_and_count(self):
+        m = Multiset()
+        m.add((1, "a"))
+        m.add((1, "a"), 2)
+        assert m.count((1, "a")) == 3
+        assert (1, "a") in m
+        assert len(m) == 3
+
+    def test_add_zero_is_noop(self):
+        m = Multiset()
+        m.add((1, "a"), 0)
+        assert m.is_empty()
+
+    def test_cancellation_removes_row(self):
+        m = Multiset()
+        m.add((1, "a"), 2)
+        m.add((1, "a"), -2)
+        assert m.is_empty()
+        assert m.distinct_size() == 0
+
+    def test_negative_counts_not_in_support(self):
+        m = Multiset()
+        m.add((1, "a"), -1)
+        assert (1, "a") not in m
+        assert list(m.support()) == []
+        assert m.count((1, "a")) == -1
+        assert not m.is_relation()
+
+    def test_from_iterable(self):
+        m = Multiset([(1, "a"), (1, "a"), (2, "b")])
+        assert m.count((1, "a")) == 2
+        assert m.count((2, "b")) == 1
+
+    def test_iteration_repeats_by_multiplicity(self):
+        m = Multiset([(1, "a"), (1, "a")])
+        assert sorted(m) == [(1, "a"), (1, "a")]
+
+    def test_discard(self):
+        m = Multiset([(1, "a")])
+        m.discard((1, "a"))
+        assert m.is_empty()
+
+    def test_map_rows_merges_collisions(self):
+        m = Multiset([(1, "a"), (2, "a")])
+        projected = m.map_rows(lambda row: (row[1],))
+        assert projected.count(("a",)) == 2
+
+    def test_filter_rows(self):
+        m = Multiset([(1, "a"), (2, "b")])
+        out = m.filter_rows(lambda row: row[0] == 1)
+        assert out.count((1, "a")) == 1
+        assert out.count((2, "b")) == 0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Multiset())
+
+    def test_scaled(self):
+        m = ms({(1, "a"): 2, (2, "b"): -1})
+        assert m.scaled(-2) == ms({(1, "a"): -4, (2, "b"): 2})
+        assert m.scaled(0).is_empty()
+
+    def test_copy_independent(self):
+        m = ms({(1, "a"): 1})
+        c = m.copy()
+        c.add((1, "a"), 1)
+        assert m.count((1, "a")) == 1
+        assert c.count((1, "a")) == 2
+
+
+class TestAlgebraProperties:
+    @given(counted, counted)
+    def test_addition_commutes(self, a, b):
+        assert ms(a) + ms(b) == ms(b) + ms(a)
+
+    @given(counted, counted, counted)
+    def test_addition_associates(self, a, b, c):
+        assert (ms(a) + ms(b)) + ms(c) == ms(a) + (ms(b) + ms(c))
+
+    @given(counted)
+    def test_additive_inverse(self, a):
+        assert (ms(a) + (-ms(a))).is_empty()
+
+    @given(counted, counted)
+    def test_subtraction_is_add_negation(self, a, b):
+        assert ms(a) - ms(b) == ms(a) + (-ms(b))
+
+    @given(counted)
+    def test_zero_identity(self, a):
+        assert ms(a) + Multiset() == ms(a)
+
+    @given(counted)
+    def test_support_positive_only(self, a):
+        support = set(ms(a).support())
+        expected = {row for row, count in a.items() if count > 0}
+        assert support == expected
+
+    @given(counted)
+    def test_len_is_positive_mass(self, a):
+        assert len(ms(a)) == sum(c for c in a.values() if c > 0)
+
+    @given(counted, st.integers(-3, 3))
+    def test_scaling_distributes(self, a, k):
+        m = ms(a)
+        assert m.scaled(k) + m.scaled(-k) == Multiset()
+
+    @given(counted, counted)
+    def test_filter_distributes_over_addition(self, a, b):
+        pred = lambda row: row[0] > 0
+        lhs = (ms(a) + ms(b)).filter_rows(pred)
+        rhs = ms(a).filter_rows(pred) + ms(b).filter_rows(pred)
+        assert lhs == rhs
+
+    @given(counted, counted)
+    def test_map_distributes_over_addition(self, a, b):
+        fn = lambda row: (row[1],)
+        lhs = (ms(a) + ms(b)).map_rows(fn)
+        rhs = ms(a).map_rows(fn) + ms(b).map_rows(fn)
+        assert lhs == rhs

@@ -1,0 +1,127 @@
+"""Tests for attribute types, schemas and row validation."""
+
+import pytest
+
+from repro.db.schema import Attribute, Schema
+from repro.db.types import AttrType, check_value, coerce_value
+from repro.errors import SchemaError
+
+
+class TestAttrType:
+    def test_python_types(self):
+        assert AttrType.INT.python_type is int
+        assert AttrType.FLOAT.python_type is float
+        assert AttrType.STRING.python_type is str
+
+    def test_check_int(self):
+        assert check_value(AttrType.INT, 5)
+        assert not check_value(AttrType.INT, 5.0)
+        assert not check_value(AttrType.INT, True)
+        assert not check_value(AttrType.INT, "5")
+
+    def test_check_float_accepts_int(self):
+        assert check_value(AttrType.FLOAT, 5)
+        assert check_value(AttrType.FLOAT, 5.5)
+        assert not check_value(AttrType.FLOAT, True)
+
+    def test_coerce_int_to_float(self):
+        value = coerce_value(AttrType.FLOAT, 3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_coerce_rejects_mismatch(self):
+        with pytest.raises(SchemaError):
+            coerce_value(AttrType.INT, "x")
+        with pytest.raises(SchemaError):
+            coerce_value(AttrType.STRING, 1)
+
+
+def token_schema():
+    return Schema.build(
+        "TOKEN",
+        [
+            ("TOK_ID", AttrType.INT),
+            ("DOC_ID", AttrType.INT),
+            ("STRING", AttrType.STRING),
+            ("LABEL", AttrType.STRING),
+        ],
+        key=["TOK_ID"],
+    )
+
+
+class TestSchema:
+    def test_arity_and_names(self):
+        s = token_schema()
+        assert s.arity == 4
+        assert s.attribute_names == ("TOK_ID", "DOC_ID", "STRING", "LABEL")
+
+    def test_position_case_insensitive(self):
+        s = token_schema()
+        assert s.position("string") == 2
+        assert s.position("STRING") == 2
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            token_schema().position("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.build("T", [("a", AttrType.INT), ("A", AttrType.INT)])
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError, match="key attribute"):
+            Schema.build("T", [("a", AttrType.INT)], key=["b"])
+
+    def test_validate_row_coerces(self):
+        s = token_schema()
+        row = s.validate_row((1, 2, "x", "O"))
+        assert row == (1, 2, "x", "O")
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError, match="arity"):
+            token_schema().validate_row((1, 2, "x"))
+
+    def test_validate_row_type(self):
+        with pytest.raises(SchemaError):
+            token_schema().validate_row(("x", 2, "x", "O"))
+
+    def test_row_from_dict_roundtrip(self):
+        s = token_schema()
+        row = s.row_from_dict({"TOK_ID": 7, "doc_id": 1, "STRING": "a", "LABEL": "O"})
+        assert row == (7, 1, "a", "O")
+        assert s.row_to_dict(row)["DOC_ID"] == 1
+
+    def test_row_from_dict_missing(self):
+        with pytest.raises(SchemaError, match="missing"):
+            token_schema().row_from_dict({"TOK_ID": 7})
+
+    def test_row_from_dict_extra(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            token_schema().row_from_dict(
+                {"TOK_ID": 7, "DOC_ID": 1, "STRING": "a", "LABEL": "O", "zzz": 9}
+            )
+
+    def test_key_of(self):
+        s = token_schema()
+        assert s.key_of((9, 1, "a", "O")) == (9,)
+
+    def test_key_of_keyless(self):
+        s = Schema.build("T", [("a", AttrType.INT)])
+        with pytest.raises(SchemaError, match="no primary key"):
+            s.key_of((1,))
+
+    def test_equality_and_hash(self):
+        assert token_schema() == token_schema()
+        assert hash(token_schema()) == hash(token_schema())
+
+    def test_renamed(self):
+        s = token_schema().renamed("T2")
+        assert s.name == "T2"
+        assert s.attribute_names == token_schema().attribute_names
+
+    def test_qualified_attribute_names_allowed(self):
+        Attribute("T1.STRING", AttrType.STRING)
+        with pytest.raises(SchemaError):
+            Attribute("bad name", AttrType.STRING)
+        with pytest.raises(SchemaError):
+            Attribute("", AttrType.STRING)

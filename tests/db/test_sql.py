@@ -1,0 +1,308 @@
+"""Tests for the SQL lexer, parser and compiler."""
+
+import pytest
+
+from repro.db import AttrType, Database, Schema, query, query_rows
+from repro.db.ra.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.sql.ast import AggCall, ScalarSubquery
+from repro.db.sql.lexer import TokenType, tokenize
+from repro.db.sql.parser import parse
+from repro.errors import PlanError, SqlSyntaxError
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        Schema.build(
+            "TOKEN",
+            [
+                ("TOK_ID", AttrType.INT),
+                ("DOC_ID", AttrType.INT),
+                ("STRING", AttrType.STRING),
+                ("LABEL", AttrType.STRING),
+            ],
+            key=["TOK_ID"],
+        )
+    )
+    rows = [
+        (0, 0, "a", "O"),
+        (1, 0, "Clinton", "B-PER"),
+        (2, 0, "Boston", "B-ORG"),
+        (3, 1, "Boston", "B-LOC"),
+        (4, 1, "Smith", "B-PER"),
+        (5, 1, "x", "O"),
+        (6, 2, "y", "O"),
+    ]
+    db.insert_many("TOKEN", rows)
+    return db
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM where")
+        assert [t.value for t in tokens[:3]] == ["select", "from", "where"]
+
+    def test_string_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.5
+
+    def test_malformed_number(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("3.")
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_multi_char_symbols(self):
+        tokens = tokenize("<= >= <> !=")
+        assert [t.value for t in tokens[:4]] == ["<=", ">=", "<>", "!="]
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+        assert len(stmt.items) == 1
+        assert stmt.items[0].expr == ColumnRef("STRING")
+        assert stmt.where == Comparison("=", ColumnRef("LABEL"), Literal("B-PER"))
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM TOKEN")
+        assert stmt.select_star
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT DOC_ID FROM TOKEN").distinct
+
+    def test_qualified_columns_and_aliases(self):
+        stmt = parse("SELECT T.STRING s FROM TOKEN T")
+        assert stmt.items[0].expr == ColumnRef("STRING", qualifier="T")
+        assert stmt.items[0].alias == "s"
+        assert stmt.from_tables[0].alias == "T"
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM TOKEN")
+        assert stmt.items[0].expr == AggCall("count", None)
+
+    def test_sum_star_invalid(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM TOKEN")
+
+    def test_boolean_precedence(self):
+        stmt = parse("SELECT a FROM T WHERE x=1 OR y=2 AND NOT z=3")
+        assert isinstance(stmt.where, Or)
+        left, right = stmt.where.terms
+        assert isinstance(left, Comparison)
+        assert isinstance(right, And)
+        assert isinstance(right.terms[1], Not)
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM T WHERE LABEL IN ('B-PER', 'I-PER')")
+        assert stmt.where == InList(ColumnRef("LABEL"), ("B-PER", "I-PER"))
+
+    def test_like(self):
+        stmt = parse("SELECT a FROM T WHERE STRING LIKE 'B%'")
+        assert stmt.where == Like(ColumnRef("STRING"), "B%")
+
+    def test_between_desugars(self):
+        stmt = parse("SELECT a FROM T WHERE x BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, And)
+
+    def test_group_by_having(self):
+        stmt = parse(
+            "SELECT DOC_ID, COUNT(*) FROM TOKEN GROUP BY DOC_ID HAVING COUNT(*) > 2"
+        )
+        assert stmt.group_by == [ColumnRef("DOC_ID")]
+        assert stmt.having is not None
+
+    def test_order_by_limit(self):
+        stmt = parse("SELECT a FROM T ORDER BY a DESC, b LIMIT 5")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+
+    def test_scalar_subquery(self):
+        stmt = parse(
+            "SELECT a FROM T WHERE (SELECT COUNT(*) FROM T1 WHERE T1.x=T.x) = 2"
+        )
+        assert isinstance(stmt.where, Comparison)
+        assert isinstance(stmt.where.left, ScalarSubquery)
+
+    def test_explicit_join(self):
+        stmt = parse("SELECT a FROM T JOIN U ON T.x = U.x")
+        assert len(stmt.joins) == 1
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse("SELECT a FROM T extra nonsense, 42")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a")
+
+
+class TestCompilerAndEval:
+    def test_query1(self):
+        db = make_db()
+        answer = query(db, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+        assert answer.support_set() == {("Clinton",), ("Smith",)}
+
+    def test_projection_multiset_counts(self):
+        db = make_db()
+        answer = query(db, "SELECT LABEL FROM TOKEN WHERE DOC_ID=0")
+        assert answer.count(("O",)) == 1
+        assert answer.count(("B-PER",)) == 1
+
+    def test_select_star_unqualified_names(self):
+        db = make_db()
+        answer = query(db, "SELECT * FROM TOKEN WHERE TOK_ID=0")
+        assert list(answer.support()) == [(0, 0, "a", "O")]
+
+    def test_count_star_global(self):
+        db = make_db()
+        answer = query(db, "SELECT COUNT(*) FROM TOKEN")
+        assert list(answer.support()) == [(7,)]
+
+    def test_count_empty_is_zero_row(self):
+        db = make_db()
+        answer = query(db, "SELECT COUNT(*) FROM TOKEN WHERE LABEL='NOPE'")
+        assert list(answer.support()) == [(0,)]
+
+    def test_group_by_count(self):
+        db = make_db()
+        answer = query(db, "SELECT DOC_ID, COUNT(*) FROM TOKEN GROUP BY DOC_ID")
+        assert answer.support_set() == {(0, 3), (1, 3), (2, 1)}
+
+    def test_group_by_having(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT DOC_ID FROM TOKEN GROUP BY DOC_ID HAVING COUNT(*) > 2",
+        )
+        assert answer.support_set() == {(0,), (1,)}
+
+    def test_aggregates_min_max_sum_avg(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT MIN(TOK_ID), MAX(TOK_ID), SUM(TOK_ID), AVG(TOK_ID) "
+            "FROM TOKEN WHERE DOC_ID=1",
+        )
+        assert list(answer.support()) == [(3, 5, 12, 4.0)]
+
+    def test_distinct(self):
+        db = make_db()
+        answer = query(db, "SELECT DISTINCT DOC_ID FROM TOKEN")
+        assert answer.support_set() == {(0,), (1,), (2,)}
+        assert all(count == 1 for _, count in answer.items())
+
+    def test_self_join_query4(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 "
+            "WHERE T1.STRING='Boston' AND T1.LABEL='B-ORG' "
+            "AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'",
+        )
+        assert answer.support_set() == {("Clinton",)}
+
+    def test_correlated_subqueries_query3(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT T.doc_id FROM TOKEN T WHERE "
+            "(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-PER' AND T.doc_id=T1.doc_id)"
+            " = (SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-ORG' AND T.doc_id=T1.doc_id)",
+        )
+        # doc 0: 1 PER / 1 ORG; doc 1: 1 PER / 0 ORG; doc 2: 0 / 0.
+        assert answer.support_set() == {(0,), (2,)}
+
+    def test_uncorrelated_scalar_subquery(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT TOK_ID FROM TOKEN WHERE "
+            "(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.LABEL='B-PER') = 2 AND TOK_ID=0",
+        )
+        assert answer.support_set() == {(0,)}
+
+    def test_order_by_limit_rows(self):
+        db = make_db()
+        rows = query_rows(db, "SELECT TOK_ID FROM TOKEN ORDER BY TOK_ID DESC LIMIT 3")
+        assert rows == [(6,), (5,), (4,)]
+
+    def test_in_and_like(self):
+        db = make_db()
+        answer = query(
+            db, "SELECT STRING FROM TOKEN WHERE LABEL IN ('B-PER','B-ORG')"
+        )
+        assert answer.support_set() == {("Clinton",), ("Smith",), ("Boston",)}
+        answer = query(db, "SELECT STRING FROM TOKEN WHERE LABEL LIKE 'B-%'")
+        assert answer.support_set() == {("Clinton",), ("Smith",), ("Boston",)}
+
+    def test_arithmetic_in_projection(self):
+        db = make_db()
+        answer = query(db, "SELECT TOK_ID + 10 FROM TOKEN WHERE TOK_ID = 1")
+        assert list(answer.support()) == [(11,)]
+
+    def test_explicit_join_syntax(self):
+        db = make_db()
+        answer = query(
+            db,
+            "SELECT T2.STRING FROM TOKEN T1 JOIN TOKEN T2 ON T1.DOC_ID = T2.DOC_ID "
+            "WHERE T1.STRING='Boston' AND T1.LABEL='B-ORG' AND T2.LABEL='B-PER'",
+        )
+        assert answer.support_set() == {("Clinton",)}
+
+    def test_bare_column_with_group_by_rejected(self):
+        db = make_db()
+        with pytest.raises(PlanError, match="GROUP BY"):
+            query(db, "SELECT STRING, COUNT(*) FROM TOKEN GROUP BY DOC_ID")
+
+    def test_having_without_group_rejected(self):
+        db = make_db()
+        with pytest.raises(PlanError):
+            query(db, "SELECT STRING FROM TOKEN HAVING STRING='a'")
+
+    def test_unsupported_correlated_predicate(self):
+        db = make_db()
+        with pytest.raises(PlanError, match="correlat"):
+            query(
+                db,
+                "SELECT TOK_ID FROM TOKEN T WHERE "
+                "(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.DOC_ID > T.DOC_ID) = 1",
+            )
+
+    def test_nonaggregate_subquery_rejected(self):
+        db = make_db()
+        with pytest.raises(PlanError, match="aggregate"):
+            query(
+                db,
+                "SELECT TOK_ID FROM TOKEN T WHERE "
+                "(SELECT T1.DOC_ID FROM TOKEN T1 WHERE T1.TOK_ID = T.TOK_ID) = 1",
+            )
+
+    def test_ambiguous_column_rejected(self):
+        db = make_db()
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="ambiguous"):
+            query(db, "SELECT STRING FROM TOKEN T1, TOKEN T2")

@@ -1,0 +1,68 @@
+"""Tests for snapshot persistence."""
+
+import pytest
+
+from repro.db import AttrType, Database, Schema, load_database, save_database
+from repro.errors import IntegrityError
+
+
+def make_db():
+    db = Database("mydb")
+    db.create_table(
+        Schema.build(
+            "TOKEN",
+            [("TOK_ID", AttrType.INT), ("STRING", AttrType.STRING)],
+            key=["TOK_ID"],
+        )
+    )
+    db.create_table(Schema.build("SCORES", [("V", AttrType.FLOAT)]))
+    db.insert("TOKEN", (1, "it's"))
+    db.insert("TOKEN", (2, "ok"))
+    db.insert("SCORES", (1.5,))
+    db.insert("SCORES", (1.5,))
+    return db
+
+
+def test_roundtrip(tmp_path):
+    db = make_db()
+    path = tmp_path / "snap.jsonl"
+    save_database(db, path)
+    loaded = load_database(path)
+    assert loaded.name == "mydb"
+    assert loaded.table("TOKEN").get((1,)) == (1, "it's")
+    assert len(loaded.table("SCORES")) == 2
+    assert loaded.table("TOKEN").schema.key == ("TOK_ID",)
+
+
+def test_roundtrip_preserves_types(tmp_path):
+    db = make_db()
+    path = tmp_path / "snap.jsonl"
+    save_database(db, path)
+    loaded = load_database(path)
+    row = next(iter(loaded.table("SCORES").rows()))
+    assert isinstance(row[0], float)
+
+
+def test_truncated_file_rejected(tmp_path):
+    db = make_db()
+    path = tmp_path / "snap.jsonl"
+    save_database(db, path)
+    content = path.read_text().splitlines()
+    path.write_text("\n".join(content[:-1]))
+    with pytest.raises(IntegrityError, match="truncated"):
+        load_database(path)
+
+
+def test_bad_format_rejected(tmp_path):
+    path = tmp_path / "snap.jsonl"
+    path.write_text('{"format": 999}\n')
+    with pytest.raises(IntegrityError, match="unsupported"):
+        load_database(path)
+
+
+def test_empty_database_roundtrip(tmp_path):
+    db = Database("empty")
+    path = tmp_path / "snap.jsonl"
+    save_database(db, path)
+    loaded = load_database(path)
+    assert loaded.table_names() == []

@@ -1,0 +1,200 @@
+"""Correctness of incremental view maintenance (the paper's Eq. 6).
+
+The central invariant: after any sequence of world mutations, an
+incrementally maintained view equals a from-scratch evaluation of the
+same plan.  Exercised both with targeted unit cases and with
+hypothesis-driven random update sequences.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import AttrType, Database, MaterializedView, Schema, plan_query
+from repro.db.ra.eval import evaluate
+from repro.errors import PlanError
+
+LABELS = ["O", "B-PER", "I-PER", "B-ORG", "I-ORG", "B-LOC"]
+WORDS = ["Boston", "Clinton", "IBM", "said", "the", "Smith"]
+
+QUERIES = [
+    "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'",
+    "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'",
+    "SELECT DISTINCT DOC_ID FROM TOKEN WHERE LABEL='B-ORG'",
+    "SELECT DOC_ID, COUNT(*) FROM TOKEN WHERE LABEL='B-PER' GROUP BY DOC_ID",
+    "SELECT T.doc_id FROM TOKEN T WHERE "
+    "(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-PER' AND T.doc_id=T1.doc_id)"
+    " = (SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-ORG' AND T.doc_id=T1.doc_id)",
+    "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 WHERE T1.STRING='Boston' "
+    "AND T1.LABEL='B-ORG' AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'",
+    "SELECT DOC_ID, MIN(TOK_ID), MAX(TOK_ID), AVG(TOK_ID) FROM TOKEN GROUP BY DOC_ID",
+    "SELECT DOC_ID, SUM(TOK_ID) FROM TOKEN GROUP BY DOC_ID HAVING COUNT(*) > 2",
+]
+
+
+def build_db(num_tokens=60, num_docs=6, seed=0):
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(
+        Schema.build(
+            "TOKEN",
+            [
+                ("TOK_ID", AttrType.INT),
+                ("DOC_ID", AttrType.INT),
+                ("STRING", AttrType.STRING),
+                ("LABEL", AttrType.STRING),
+            ],
+            key=["TOK_ID"],
+        )
+    )
+    for i in range(num_tokens):
+        db.insert("TOKEN", (i, i % num_docs, rng.choice(WORDS), rng.choice(LABELS)))
+    return db
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_initial_view_equals_full_eval(sql):
+    db = build_db()
+    plan = plan_query(db, sql)
+    view = MaterializedView(db, plan)
+    assert view.result() == evaluate(plan, db)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_view_tracks_random_updates(sql):
+    db = build_db()
+    rng = random.Random(13)
+    plan = plan_query(db, sql)
+    recorder = db.attach_recorder()
+    view = MaterializedView(db, plan)
+    recorder.pop()
+    for _ in range(60):
+        for _ in range(rng.randint(1, 6)):
+            pk = rng.randrange(60)
+            db.update("TOKEN", (pk,), {"LABEL": rng.choice(LABELS)})
+        view.apply(recorder.pop())
+        assert view.result() == evaluate(plan, db)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_view_tracks_inserts_and_deletes(sql):
+    db = build_db()
+    rng = random.Random(5)
+    plan = plan_query(db, sql)
+    recorder = db.attach_recorder()
+    view = MaterializedView(db, plan)
+    recorder.pop()
+    next_id = 60
+    live = list(range(60))
+    for _ in range(40):
+        action = rng.random()
+        if action < 0.4 or not live:
+            db.insert(
+                "TOKEN",
+                (next_id, rng.randrange(6), rng.choice(WORDS), rng.choice(LABELS)),
+            )
+            live.append(next_id)
+            next_id += 1
+        elif action < 0.7:
+            pk = live.pop(rng.randrange(len(live)))
+            db.delete("TOKEN", (pk,))
+        else:
+            pk = rng.choice(live)
+            db.update("TOKEN", (pk,), {"LABEL": rng.choice(LABELS)})
+        view.apply(recorder.pop())
+        assert view.result() == evaluate(plan, db)
+
+
+def test_empty_delta_is_noop():
+    db = build_db()
+    plan = plan_query(db, QUERIES[0])
+    recorder = db.attach_recorder()
+    view = MaterializedView(db, plan)
+    before = view.result().copy()
+    assert view.apply(recorder.pop()).is_empty()
+    assert view.result() == before
+
+
+def test_apply_returns_answer_delta():
+    db = build_db(num_tokens=10, num_docs=2)
+    recorder = db.attach_recorder()
+    view = MaterializedView(db, plan_query(db, "SELECT STRING FROM TOKEN WHERE LABEL='B-MISC'"))
+    db.update("TOKEN", (0,), {"LABEL": "B-MISC"})
+    out = view.apply(recorder.pop())
+    assert len(list(out.support())) == 1
+
+    string_0 = db.table("TOKEN").get((0,))[2]
+    assert view.count((string_0,)) >= 1
+
+
+def test_refresh_after_restore():
+    db = build_db()
+    plan = plan_query(db, QUERIES[3])
+    view = MaterializedView(db, plan)
+    snap = db.snapshot()
+    db.update("TOKEN", (0,), {"LABEL": "B-PER"})
+    db.restore(snap)
+    view.refresh(db)
+    assert view.result() == evaluate(plan, db)
+
+
+def test_order_by_stripped():
+    db = build_db()
+    view = MaterializedView(
+        db, plan_query(db, "SELECT TOK_ID FROM TOKEN ORDER BY TOK_ID LIMIT 5")
+    )
+    # The stripped plan is a plain projection: all 60 ids, no ordering.
+    assert len(view.result()) == 60
+
+
+def test_multiset_projection_counts_maintained():
+    """Blakeley's counter bookkeeping: a tuple leaves the answer only
+    when the last witnessing base row disappears."""
+    db = build_db(num_tokens=4, num_docs=1)
+    for pk in range(4):
+        db.update("TOKEN", (pk,), {"STRING": "same", "LABEL": "B-PER"})
+    recorder = db.attach_recorder()
+    view = MaterializedView(
+        db, plan_query(db, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+    )
+    assert view.count(("same",)) == 4
+    db.update("TOKEN", (0,), {"LABEL": "O"})
+    view.apply(recorder.pop())
+    assert view.count(("same",)) == 3
+    assert ("same",) in view
+    for pk in (1, 2, 3):
+        db.update("TOKEN", (pk,), {"LABEL": "O"})
+    view.apply(recorder.pop())
+    assert ("same",) not in view
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(0, 29), st.sampled_from(LABELS)), max_size=40
+    ),
+    query_index=st.integers(0, len(QUERIES) - 1),
+)
+def test_property_incremental_equals_full(updates, query_index):
+    db = build_db(num_tokens=30, num_docs=4, seed=3)
+    plan = plan_query(db, QUERIES[query_index])
+    recorder = db.attach_recorder()
+    view = MaterializedView(db, plan)
+    recorder.pop()
+    for pk, label in updates:
+        db.update("TOKEN", (pk,), {"LABEL": label})
+    view.apply(recorder.pop())
+    assert view.result() == evaluate(plan, db)
+
+
+def test_limit_cannot_be_materialized_directly():
+    from repro.db.ra.ast import Limit
+    from repro.db.ra.delta import build_maintainer
+
+    db = build_db()
+    plan = plan_query(db, "SELECT TOK_ID FROM TOKEN LIMIT 5")
+    assert isinstance(plan, Limit)
+    with pytest.raises(PlanError, match="presentation-only"):
+        build_maintainer(plan)

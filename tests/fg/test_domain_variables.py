@@ -1,0 +1,131 @@
+"""Tests for domains and random variables."""
+
+import pytest
+
+from repro.db import AttrType, Database, Schema
+from repro.errors import DomainError, IntegrityError
+from repro.fg import Domain, FieldVariable, HiddenVariable, ObservedVariable
+from repro.fg.relational import bind_field_variables, flush_all, reload_all
+
+
+class TestDomain:
+    def test_values_and_len(self):
+        d = Domain("d", ["a", "b", "c"])
+        assert len(d) == 3
+        assert list(d) == ["a", "b", "c"]
+        assert "a" in d
+        assert "z" not in d
+
+    def test_index(self):
+        d = Domain("d", ["a", "b"])
+        assert d.index("b") == 1
+        with pytest.raises(DomainError):
+            d.index("z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            Domain("d", [])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DomainError):
+            Domain("d", ["a", "a"])
+
+    def test_validate(self):
+        d = Domain("d", [1, 2])
+        assert d.validate(1) == 1
+        with pytest.raises(DomainError):
+            d.validate(3)
+
+    def test_range_domain(self):
+        d = Domain("clusters", range(5))
+        assert len(d) == 5
+        assert 4 in d
+
+
+class TestVariables:
+    def test_observed_is_fixed(self):
+        v = ObservedVariable("x", "hello")
+        assert v.value == "hello"
+
+    def test_hidden_set_value(self):
+        d = Domain("d", ["a", "b"])
+        v = HiddenVariable("y", d, "a")
+        v.set_value("b")
+        assert v.value == "b"
+        with pytest.raises(DomainError):
+            v.set_value("z")
+
+    def test_hidden_initial_value_validated(self):
+        d = Domain("d", ["a"])
+        with pytest.raises(DomainError):
+            HiddenVariable("y", d, "nope")
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        Schema.build(
+            "T",
+            [("ID", AttrType.INT), ("LABEL", AttrType.STRING)],
+            key=["ID"],
+        )
+    )
+    db.insert("T", (1, "a"))
+    db.insert("T", (2, "b"))
+    return db
+
+
+class TestFieldVariable:
+    def test_reads_initial_value_from_db(self):
+        db = make_db()
+        d = Domain("d", ["a", "b", "c"])
+        v = FieldVariable(db, "T", (1,), "LABEL", d)
+        assert v.value == "a"
+        assert v.name == ("T", (1,), "LABEL")
+
+    def test_set_value_does_not_touch_db(self):
+        db = make_db()
+        v = FieldVariable(db, "T", (1,), "LABEL", Domain("d", ["a", "b"]))
+        v.set_value("b")
+        assert db.table("T").get((1,)) == (1, "a")
+
+    def test_flush_writes_through(self):
+        db = make_db()
+        v = FieldVariable(db, "T", (1,), "LABEL", Domain("d", ["a", "b"]))
+        v.set_value("b")
+        v.flush()
+        assert db.table("T").get((1,)) == (1, "b")
+
+    def test_reload(self):
+        db = make_db()
+        v = FieldVariable(db, "T", (1,), "LABEL", Domain("d", ["a", "b"]))
+        db.update("T", (1,), {"LABEL": "b"})
+        v.reload()
+        assert v.value == "b"
+
+    def test_missing_row(self):
+        db = make_db()
+        with pytest.raises(IntegrityError):
+            FieldVariable(db, "T", (99,), "LABEL", Domain("d", ["a"]))
+
+    def test_bind_field_variables(self):
+        db = make_db()
+        d = Domain("d", ["a", "b"])
+        variables = bind_field_variables(db, "T", "LABEL", d)
+        assert [v.value for v in variables] == ["a", "b"]
+        variables = bind_field_variables(
+            db, "T", "LABEL", d, where=lambda row: row[0] == 2
+        )
+        assert len(variables) == 1
+
+    def test_flush_and_reload_all(self):
+        db = make_db()
+        d = Domain("d", ["a", "b"])
+        variables = bind_field_variables(db, "T", "LABEL", d)
+        for v in variables:
+            v.set_value("b")
+        flush_all(variables)
+        assert all(row[1] == "b" for row in db.table("T").rows())
+        db.update("T", (1,), {"LABEL": "a"})
+        reload_all(variables)
+        assert variables[0].value == "a"

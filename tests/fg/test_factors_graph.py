@@ -1,0 +1,213 @@
+"""Tests for factors, templates, weights and the factor graph."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.fg import (
+    ConstraintFactor,
+    Domain,
+    FactorGraph,
+    HiddenVariable,
+    LogLinearFactor,
+    PairwiseTemplate,
+    TableFactor,
+    UnaryTemplate,
+    Weights,
+)
+
+BIN = Domain("bin", ["0", "1"])
+
+
+def make_chain(n=3, coupling=1.0, field=0.5):
+    """An Ising-style chain: unary field on '1', pairwise agreement."""
+    weights = Weights()
+    weights.set("field", "on", field)
+    weights.set("pair", "agree", coupling)
+    variables = [HiddenVariable(f"v{i}", BIN, "0") for i in range(n)]
+    index = {v.name: i for i, v in enumerate(variables)}
+
+    def field_features(var):
+        return {"on": 1.0} if var.value == "1" else {}
+
+    def neighbors(var):
+        i = index[var.name]
+        out = []
+        if i > 0:
+            out.append(variables[i - 1])
+        if i + 1 < len(variables):
+            out.append(variables[i + 1])
+        return out
+
+    def pair_features(a, b):
+        return {"agree": 1.0} if a.value == b.value else {}
+
+    templates = [
+        UnaryTemplate("field", weights, field_features),
+        PairwiseTemplate("pair", weights, neighbors, pair_features),
+    ]
+    return FactorGraph(variables, templates), variables, weights
+
+
+class TestWeights:
+    def test_dot_and_update(self):
+        w = Weights()
+        w.update("t", {"a": 1.0, "b": 2.0}, 0.5)
+        assert w.dot("t", {"a": 2.0}) == pytest.approx(1.0)
+        assert w.get("t", "b") == pytest.approx(1.0)
+
+    def test_zero_removed(self):
+        w = Weights()
+        w.set("t", "a", 1.0)
+        w.set("t", "a", 0.0)
+        assert w.num_parameters() == 0
+
+    def test_l2_norm(self):
+        w = Weights()
+        w.set("t", "a", 3.0)
+        w.set("t", "b", 4.0)
+        assert w.l2_norm() == pytest.approx(5.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        w = Weights()
+        w.set("t", ("emit", "Boston", "B-ORG"), 1.5)
+        w.set("t", "plain", -2.0)
+        path = tmp_path / "w.json"
+        w.save(path)
+        loaded = Weights.load(path)
+        assert loaded.get("t", ("emit", "Boston", "B-ORG")) == 1.5
+        assert loaded.get("t", "plain") == -2.0
+
+    def test_copy_independent(self):
+        w = Weights()
+        w.set("t", "a", 1.0)
+        c = w.copy()
+        c.set("t", "a", 9.0)
+        assert w.get("t", "a") == 1.0
+
+
+class TestFactors:
+    def test_log_linear_scores_current_values(self):
+        w = Weights()
+        w.set("t", ("k", "1"), 2.0)
+        v = HiddenVariable("v", BIN, "0")
+        f = LogLinearFactor("t", (v,), w, lambda value: {("k", value): 1.0})
+        assert f.score() == 0.0
+        v.set_value("1")
+        assert f.score() == 2.0
+
+    def test_table_factor(self):
+        a = HiddenVariable("a", BIN, "0")
+        b = HiddenVariable("b", BIN, "1")
+        f = TableFactor("t", (a, b), {("0", "1"): 1.5}, default=-1.0)
+        assert f.score() == 1.5
+        b.set_value("0")
+        assert f.score() == -1.0
+
+    def test_constraint_factor(self):
+        a = HiddenVariable("a", BIN, "0")
+        f = ConstraintFactor("c", (a,), lambda value: value == "0")
+        assert f.score() == 0.0
+        a.set_value("1")
+        assert f.score() == float("-inf")
+
+    def test_key_dedup(self):
+        graph, variables, _ = make_chain(3)
+        factors = graph.all_factors()
+        # 3 unary + 2 pairwise (each pair deduped from both endpoints).
+        assert len(factors) == 5
+
+
+class TestFactorGraph:
+    def test_score_matches_manual(self):
+        graph, variables, _ = make_chain(2, coupling=1.0, field=0.5)
+        variables[0].set_value("1")
+        variables[1].set_value("1")
+        assert graph.score() == pytest.approx(0.5 + 0.5 + 1.0)
+
+    def test_score_delta_equals_full_difference(self):
+        graph, variables, _ = make_chain(4)
+        before = graph.score()
+        delta = graph.score_delta({variables[1]: "1"})
+        variables[1].set_value("1")
+        assert delta == pytest.approx(graph.score() - before)
+
+    def test_score_delta_restores_state(self):
+        graph, variables, _ = make_chain(3)
+        graph.score_delta({variables[0]: "1", variables[2]: "1"})
+        assert [v.value for v in variables] == ["0", "0", "0"]
+
+    def test_exact_distribution_sums_to_one(self):
+        graph, _, _ = make_chain(3)
+        dist = graph.exact_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert len(dist) == 8
+
+    def test_exact_marginals_uniform_when_no_weights(self):
+        weights = Weights()
+        variables = [HiddenVariable("v", BIN, "0")]
+        graph = FactorGraph(
+            variables, [UnaryTemplate("t", weights, lambda v: {})]
+        )
+        marginals = graph.exact_marginals()
+        assert marginals[0]["0"] == pytest.approx(0.5)
+
+    def test_ising_marginal_closed_form(self):
+        # Single variable with field f: P(1) = e^f / (1 + e^f).
+        weights = Weights()
+        weights.set("field", "on", 0.7)
+        v = HiddenVariable("v", BIN, "0")
+        graph = FactorGraph(
+            [v],
+            [
+                UnaryTemplate(
+                    "field",
+                    weights,
+                    lambda var: {"on": 1.0} if var.value == "1" else {},
+                )
+            ],
+        )
+        expected = math.exp(0.7) / (1 + math.exp(0.7))
+        assert graph.exact_marginals()[0]["1"] == pytest.approx(expected)
+
+    def test_duplicate_names_rejected(self):
+        a = HiddenVariable("same", BIN, "0")
+        b = HiddenVariable("same", BIN, "0")
+        with pytest.raises(GraphError):
+            FactorGraph([a, b], [])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            FactorGraph([], [])
+
+    def test_variable_lookup(self):
+        graph, variables, _ = make_chain(2)
+        assert graph.variable("v0") is variables[0]
+        with pytest.raises(GraphError):
+            graph.variable("nope")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.sampled_from(["0", "1"]), min_size=3, max_size=3),
+    changes=st.dictionaries(
+        st.integers(0, 2), st.sampled_from(["0", "1"]), min_size=1, max_size=3
+    ),
+    coupling=st.floats(-2, 2),
+    field=st.floats(-2, 2),
+)
+def test_property_delta_scoring(values, changes, coupling, field):
+    """score_delta == full-score difference for arbitrary assignments,
+    changes and weights (the Appendix 9.2 identity)."""
+    graph, variables, _ = make_chain(3, coupling=coupling, field=field)
+    for variable, value in zip(variables, values):
+        variable.set_value(value)
+    change_map = {variables[i]: v for i, v in changes.items()}
+    before = graph.score()
+    delta = graph.score_delta(change_map)
+    for variable, value in change_map.items():
+        variable.set_value(value)
+    assert delta == pytest.approx(graph.score() - before)

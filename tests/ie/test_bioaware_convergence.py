@@ -1,0 +1,108 @@
+"""The BIO-aware proposer's Hastings correction, validated by convergence.
+
+A proposer whose candidate set varies with the state needs forward and
+backward correction terms; an error there biases the stationary
+distribution.  On a tiny TOKEN model, the exact marginals from
+enumeration must match a long BIO-aware MH run.
+"""
+
+import pytest
+
+from repro.fg import Domain
+from repro.ie.ner import SkipChainNerModel, build_token_database
+from repro.ie.ner.corpus import Token
+from repro.ie.ner.model import fit_generative_weights
+from repro.ie.ner.proposals import BioAwareProposer
+from repro.mcmc import MetropolisHastings
+
+
+def tiny_model():
+    tokens = [
+        Token(0, 0, 0, "Hillary", "B-PER"),
+        Token(1, 0, 1, "Clinton", "I-PER"),
+        Token(2, 0, 2, "spoke", "O"),
+    ]
+    db = build_token_database(tokens)
+    # A soft posterior mixes fast enough for tight empirical comparison.
+    weights = fit_generative_weights(db, scale=0.5, skip_strength=0.0)
+    model = SkipChainNerModel(db, weights=weights)
+    return model
+
+
+def restricted_exact_marginals(model):
+    """Exact marginals conditioned on the proposer's support.
+
+    The BIO-aware proposer never assigns I-* to a document-initial
+    token (that label is BIO-invalid there and never proposable), so
+    the chain samples ``pi`` restricted to worlds whose first token is
+    not I-* — the §3.4 constraint-preserving semantics.  Later tokens
+    may pass through transiently-invalid labels (a neighbour changed
+    under them) and stay fully reachable.
+    """
+    from repro.ie.ner.labels import is_inside
+
+    joint = model.graph.exact_distribution()
+    mass = sum(p for s, p in joint.items() if not is_inside(s[0]))
+    marginals = [dict() for _ in model.variables]
+    for state, probability in joint.items():
+        if is_inside(state[0]):
+            continue
+        for i, label in enumerate(state):
+            marginals[i][label] = marginals[i].get(label, 0.0) + probability / mass
+    return marginals
+
+
+def test_bioaware_matches_exact_marginals_on_support():
+    model = tiny_model()
+    exact = restricted_exact_marginals(model)
+    proposer = BioAwareProposer(model)
+    kernel = MetropolisHastings(model.graph, proposer, seed=3)
+    counts = [dict() for _ in model.variables]
+    total = 200_000
+    for _ in range(total):
+        kernel.step()
+        for i, variable in enumerate(model.variables):
+            counts[i][variable.value] = counts[i].get(variable.value, 0) + 1
+    for i, variable in enumerate(model.variables):
+        for label, probability in exact[i].items():
+            if probability > 0.05:
+                empirical = counts[i].get(label, 0) / total
+                assert empirical == pytest.approx(probability, abs=0.03), (
+                    f"var {i} label {label}: exact {probability:.3f} "
+                    f"vs empirical {empirical:.3f}"
+                )
+
+
+def test_bioaware_candidates_include_current_value():
+    model = tiny_model()
+    proposer = BioAwareProposer(model)
+    first, second = model.variables[0], model.variables[1]
+    first.set_value("B-PER")
+    candidates = proposer._candidates(second, second.value)
+    assert "I-PER" in candidates  # valid continuation after B-PER
+    second.set_value("I-ORG")  # BIO-invalid after B-PER
+    candidates = proposer._candidates(second, second.value)
+    assert "I-ORG" in candidates  # current value always proposable
+    assert "I-PER" in candidates
+
+
+def test_bioaware_rejects_irreversible_escape_from_invalid_state():
+    """Leaving an invalid label would be irreversible; the Hastings term
+    must be -inf so the kernel rejects (the variable escapes only when
+    its left neighbour changes)."""
+    model = tiny_model()
+    proposer = BioAwareProposer(model)
+    second = model.variables[1]
+    second.set_value("I-ORG")  # invalid: left neighbour is 'O'
+    from repro.rng import make_rng
+
+    rng = make_rng(1)
+    saw_irreversible = False
+    for _ in range(2000):
+        proposal = proposer.propose(rng)
+        (variable, value), = proposal.changes.items()
+        if variable is second and value != "I-ORG":
+            assert proposal.log_backward == float("-inf")
+            saw_irreversible = True
+            break
+    assert saw_irreversible

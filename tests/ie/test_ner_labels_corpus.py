@@ -1,0 +1,148 @@
+"""Tests for BIO labels and the synthetic corpus generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.ie.ner import (
+    ENTITY_TYPES,
+    LABELS,
+    OUTSIDE,
+    decode_mentions,
+    encode_mentions,
+    generate_corpus,
+    generate_documents,
+    is_valid_sequence,
+    is_valid_transition,
+    valid_labels_after,
+)
+from repro.ie.ner.corpus import CorpusConfig
+
+
+class TestLabels:
+    def test_nine_labels(self):
+        assert len(LABELS) == 9  # paper §5.1: "the total number of labels nine"
+        assert OUTSIDE in LABELS
+
+    def test_transition_rules(self):
+        assert is_valid_transition("B-PER", "I-PER")
+        assert is_valid_transition("I-PER", "I-PER")
+        assert not is_valid_transition("B-PER", "I-ORG")
+        assert not is_valid_transition("O", "I-PER")
+        assert not is_valid_transition(None, "I-LOC")
+        assert is_valid_transition(None, "B-LOC")
+        assert is_valid_transition("I-MISC", "O")
+
+    def test_valid_labels_after(self):
+        after_o = valid_labels_after("O")
+        assert "I-PER" not in after_o
+        assert "B-PER" in after_o and "O" in after_o
+        after_bper = valid_labels_after("B-PER")
+        assert "I-PER" in after_bper
+        assert "I-ORG" not in after_bper
+
+    def test_decode_simple(self):
+        labels = ["O", "B-PER", "I-PER", "O", "B-ORG"]
+        assert decode_mentions(labels) == [(1, 3, "PER"), (4, 5, "ORG")]
+
+    def test_decode_adjacent_mentions(self):
+        labels = ["B-PER", "B-PER", "I-PER"]
+        assert decode_mentions(labels) == [(0, 1, "PER"), (1, 3, "PER")]
+
+    def test_decode_tolerates_invalid(self):
+        labels = ["O", "I-PER", "I-ORG"]
+        assert decode_mentions(labels) == [(1, 2, "PER"), (2, 3, "ORG")]
+
+    def test_encode_decode_roundtrip(self):
+        mentions = [(1, 3, "PER"), (5, 6, "LOC")]
+        labels = encode_mentions(8, mentions)
+        assert decode_mentions(labels) == mentions
+        assert is_valid_sequence(labels)
+
+    def test_encode_validation(self):
+        with pytest.raises(DomainError):
+            encode_mentions(3, [(0, 5, "PER")])
+        with pytest.raises(DomainError):
+            encode_mentions(5, [(0, 2, "PER"), (1, 3, "ORG")])
+        with pytest.raises(DomainError):
+            encode_mentions(5, [(0, 2, "NOPE")])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        spans=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 4), st.sampled_from(ENTITY_TYPES)),
+            max_size=5,
+        )
+    )
+    def test_property_roundtrip_disjoint_spans(self, spans):
+        taken = set()
+        mentions = []
+        for start, width, kind in spans:
+            span = set(range(start, start + width))
+            if span & taken:
+                continue
+            taken |= span
+            mentions.append((start, start + width, kind))
+        mentions.sort()
+        labels = encode_mentions(30, mentions)
+        assert decode_mentions(labels) == mentions
+        assert is_valid_sequence(labels)
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(500, seed=3)
+        b = generate_corpus(500, seed=3)
+        assert a == b
+        c = generate_corpus(500, seed=4)
+        assert a != c
+
+    def test_minimum_size(self):
+        tokens = generate_corpus(1000, seed=0)
+        assert len(tokens) >= 1000
+
+    def test_token_ids_sequential(self):
+        tokens = generate_corpus(300, seed=1)
+        assert [t.tok_id for t in tokens] == list(range(len(tokens)))
+
+    def test_truth_labels_valid_bio(self):
+        for document in generate_documents(800, seed=2):
+            assert is_valid_sequence(document.truth_labels())
+
+    def test_contains_all_entity_types(self):
+        tokens = generate_corpus(5000, seed=0)
+        kinds = {t.truth[2:] for t in tokens if t.truth != OUTSIDE}
+        assert kinds == set(ENTITY_TYPES)
+
+    def test_within_document_repetition_exists(self):
+        """Skip edges require repeated capitalized strings per document."""
+        repeated_docs = 0
+        for document in generate_documents(3000, seed=5):
+            seen = {}
+            for token in document.tokens:
+                if token.string[:1].isupper():
+                    seen[token.string] = seen.get(token.string, 0) + 1
+            if any(count >= 2 for count in seen.values()):
+                repeated_docs += 1
+        assert repeated_docs > 0
+
+    def test_ambiguous_strings_exist(self):
+        """Some string must occur under two different truth label types
+        (e.g. Boston as B-LOC and as B-ORG head) — Query 4's premise."""
+        tokens = generate_corpus(20_000, seed=0)
+        types_by_string = {}
+        for token in tokens:
+            if token.truth != OUTSIDE:
+                types_by_string.setdefault(token.string, set()).add(token.truth)
+        assert any(len(kinds) >= 2 for kinds in types_by_string.values())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(doc_length=1)
+
+    def test_positions_within_document(self):
+        for document in generate_documents(500, seed=7):
+            assert [t.position for t in document.tokens] == list(
+                range(len(document.tokens))
+            )

@@ -1,0 +1,185 @@
+"""Tests for the skip-chain NER model and pipeline."""
+
+import pytest
+
+from repro.db import query
+from repro.ie.ner import (
+    LABELS,
+    NerPipeline,
+    NerTask,
+    SkipChainNerModel,
+    build_token_database,
+    fit_generative_weights,
+    generate_corpus,
+)
+from repro.ie.ner.model import EMISSION, SKIP, TRANSITION
+from repro.ie.ner.proposals import BioAwareProposer
+from repro.mcmc import MetropolisHastings
+
+
+def small_db(num_tokens=400, seed=0):
+    return build_token_database(generate_corpus(num_tokens, seed=seed))
+
+
+class TestModelStructure:
+    def test_one_variable_per_token(self):
+        db = small_db()
+        model = SkipChainNerModel(db)
+        assert len(model.variables) == len(db.table("TOKEN"))
+
+    def test_initial_labels_all_outside(self):
+        db = small_db()
+        model = SkipChainNerModel(db)
+        assert all(v.value == "O" for v in model.variables)
+
+    def test_transitions_within_document_only(self):
+        db = small_db()
+        model = SkipChainNerModel(db)
+        for variable in model.variables:
+            nxt = model._next.get(variable.name)
+            if nxt is not None:
+                doc_self = variable.name[1][0]
+                # Consecutive tok_ids share a document iff linked.
+                assert model.groups  # structure exists
+        # First token of each doc has no prev.
+        firsts = [group[0] for group in model.groups.values()]
+        assert all(model._prev.get(v.name) is None for v in firsts)
+
+    def test_skip_edges_symmetric(self):
+        db = small_db(800)
+        model = SkipChainNerModel(db)
+        for variable in model.variables:
+            for mate in model.skip_neighbors(variable):
+                assert variable in model.skip_neighbors(mate)
+                assert model.string_of(mate) == model.string_of(variable)
+
+    def test_skip_disabled(self):
+        db = small_db()
+        linear = SkipChainNerModel(db, use_skip=False)
+        assert len(linear.templates) == 3
+        skippy = SkipChainNerModel(db, use_skip=True)
+        assert len(skippy.templates) == 4
+
+    def test_local_factor_count_constant(self):
+        """Appendix 9.2: factors touching one variable do not grow with
+        database size."""
+        small = SkipChainNerModel(small_db(300, seed=1))
+        large = SkipChainNerModel(small_db(3000, seed=1))
+
+        def max_degree(model):
+            return max(
+                len(model.graph.factors_touching([v]))
+                for v in model.variables[:50]
+            )
+
+        # Degree is bounded by emission+bias+2 transitions+skip mates
+        # (a per-document property), not by corpus size.
+        assert max_degree(large) <= max_degree(small) + 10
+
+    def test_reset_labels(self):
+        db = small_db()
+        model = SkipChainNerModel(db)
+        model.variables[0].set_value("B-PER")
+        model.variables[0].flush()
+        model.reset_labels()
+        assert all(row[3] == "O" for row in db.table("TOKEN").rows())
+
+
+class TestFittedWeights:
+    def test_all_label_combinations_weighted(self):
+        db = small_db()
+        weights = fit_generative_weights(db)
+        for prev in LABELS:
+            for label in LABELS:
+                assert weights.get(TRANSITION, ("trans", prev, label)) != 0.0
+
+    def test_truth_label_preferred_for_entity_strings(self):
+        db = small_db(2000)
+        weights = fit_generative_weights(db)
+        # 'said' is always O in the corpus.
+        said_o = weights.get(EMISSION, ("emit", "said", "O"))
+        said_per = weights.get(EMISSION, ("emit", "said", "B-PER"))
+        assert said_o > said_per
+
+    def test_skip_weights(self):
+        weights = fit_generative_weights(small_db())
+        assert weights.get(SKIP, ("skip", "same")) > 0
+        assert weights.get(SKIP, ("skip", "diff")) < 0
+
+
+class TestPipeline:
+    def test_sampling_improves_accuracy(self):
+        pipeline = NerPipeline.build(800, seed=2, steps_per_sample=400)
+        model = pipeline.instance.model
+        before = model.accuracy_against_truth()
+        pipeline.evaluate_query(
+            "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", num_samples=25
+        )
+        assert model.accuracy_against_truth() > before
+
+    def test_db_and_memory_stay_synchronized(self):
+        pipeline = NerPipeline.build(400, seed=3, steps_per_sample=200)
+        pipeline.evaluate_query(
+            "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'", num_samples=10
+        )
+        model = pipeline.instance.model
+        table = pipeline.db.table("TOKEN")
+        for variable in model.variables:
+            assert table.get(variable.pk)[3] == variable.value
+
+    def test_naive_equals_materialized_same_seed(self):
+        task = NerTask(400, corpus_seed=4, steps_per_sample=100)
+        result_a = (
+            task.make_instance(9)
+            .evaluator(["SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"], "naive")
+            .run(15)
+        )
+        result_b = (
+            task.make_instance(9)
+            .evaluator(["SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"], "materialized")
+            .run(15)
+        )
+        assert (
+            result_a.marginals.probabilities() == result_b.marginals.probabilities()
+        )
+
+    def test_parallel_evaluation(self):
+        pipeline = NerPipeline.build(400, seed=5, steps_per_sample=100)
+        result = pipeline.evaluate_parallel(
+            "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'",
+            num_chains=3,
+            samples_per_chain=5,
+        )
+        assert result.marginals.num_samples == 3 * 6
+
+    def test_trained_weights_nonempty(self):
+        task = NerTask(
+            300, corpus_seed=6, weight_mode="trained", train_steps=3000
+        )
+        assert task.weights.num_parameters() > 0
+        assert task.training_stats is not None
+        assert task.training_stats.updates > 0
+
+
+class TestBioAwareProposer:
+    def test_proposals_bio_consistent_or_current(self):
+        db = small_db(300, seed=7)
+        model = SkipChainNerModel(db, weights=fit_generative_weights(db))
+        proposer = BioAwareProposer(model)
+        kernel = MetropolisHastings(model.graph, proposer, seed=1)
+        kernel.run(2000)
+        # After the walk every accepted label is BIO-consistent with its
+        # left neighbour or was never moved off the initial 'O'.
+        from repro.ie.ner import is_valid_transition
+
+        violations = 0
+        for variable in model.variables:
+            prev = model._prev.get(variable.name)
+            if not is_valid_transition(
+                prev.value if prev is not None else None, variable.value
+            ):
+                violations += 1
+        # Initial all-'O' world is valid; proposals preserve validity
+        # against the neighbour's value at proposal time, so violations
+        # only arise transiently from later changes to the neighbour.
+        assert violations <= len(model.variables) * 0.05

@@ -1,0 +1,168 @@
+"""End-to-end integration tests across all packages.
+
+These are the paper's claims in miniature:
+
+* query marginals estimated by MCMC over a DB-bound skip-chain model
+  converge to brute-force enumeration (tiny instance);
+* the materialized evaluator returns exactly the naive evaluator's
+  marginals while touching only deltas;
+* aggregates (Query 2/3 shapes) work through the full stack;
+* the paper's Query 4 self-join runs over an uncertain world.
+"""
+
+import pytest
+
+from repro.db import AttrType, Database, MaterializedView, Schema, plan_query, query
+from repro.db.ra.eval import evaluate
+from repro.fg import Domain
+from repro.ie.ner import (
+    LABEL_DOMAIN,
+    NerTask,
+    SkipChainNerModel,
+    build_token_database,
+)
+from repro.ie.ner.corpus import Token
+from repro.mcmc import MarkovChain, MetropolisHastings, UniformLabelProposer
+from repro.core import MaterializedEvaluator, NaiveEvaluator, squared_error
+
+
+def tiny_tokens():
+    """Seven tokens, two documents, with a repeated string (skip edge)."""
+    rows = [
+        ("a", "O"), ("Boston", "B-ORG"), ("said", "O"),
+        ("Boston", "B-LOC"),
+        ("Clinton", "B-PER"), ("spoke", "O"), ("Clinton", "B-PER"),
+    ]
+    tokens = []
+    for i, (string, truth) in enumerate(rows):
+        doc = 0 if i < 4 else 1
+        tokens.append(Token(i, doc, i if doc == 0 else i - 4, string, truth))
+    return tokens
+
+
+SMALL_DOMAIN = Domain("small-labels", ["O", "B-PER", "B-ORG", "B-LOC"])
+
+
+def build_tiny_model(seed=0):
+    db = build_token_database(tiny_tokens())
+    from repro.ie.ner.model import fit_generative_weights
+
+    weights = fit_generative_weights(db, scale=1.0)
+    model = SkipChainNerModel(db, weights=weights, domain=SMALL_DOMAIN)
+    return db, model
+
+
+class TestMarginalsMatchEnumeration:
+    def test_query1_marginals_converge_to_exact(self):
+        db, model = build_tiny_model()
+        # Exact tuple marginals: Pr[string in answer] = P(any token with
+        # that string labelled B-PER).
+        exact_joint = model.graph.exact_distribution()
+        strings = [model.string_of(v) for v in model.variables]
+        exact: dict = {}
+        for assignment, probability in exact_joint.items():
+            answer = {
+                (strings[i],)
+                for i, label in enumerate(assignment)
+                if label == "B-PER"
+            }
+            for row in answer:
+                exact[row] = exact.get(row, 0.0) + probability
+
+        kernel = MetropolisHastings(
+            model.graph, UniformLabelProposer(model.variables), seed=17
+        )
+        chain = MarkovChain(kernel, steps_per_sample=5)
+        evaluator = MaterializedEvaluator(
+            db, chain, ["SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"]
+        )
+        result = evaluator.run(8000, include_initial_sample=False)
+        estimated = result.marginals.probabilities()
+        assert squared_error(estimated, exact) < 0.01
+        for row, truth in exact.items():
+            if truth > 0.05:
+                assert estimated.get(row, 0.0) == pytest.approx(truth, abs=0.05)
+
+    def test_aggregate_marginals_converge(self):
+        db, model = build_tiny_model()
+        exact_joint = model.graph.exact_distribution()
+        exact: dict = {}
+        for assignment, probability in exact_joint.items():
+            count = sum(1 for label in assignment if label == "B-PER")
+            exact[(count,)] = exact.get((count,), 0.0) + probability
+
+        kernel = MetropolisHastings(
+            model.graph, UniformLabelProposer(model.variables), seed=23
+        )
+        chain = MarkovChain(kernel, steps_per_sample=5)
+        evaluator = MaterializedEvaluator(
+            db, chain, ["SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'"]
+        )
+        result = evaluator.run(8000, include_initial_sample=False)
+        estimated = result.marginals.probabilities()
+        assert squared_error(estimated, exact) < 0.02
+
+
+class TestEvaluatorAgreementAtScale:
+    def test_identical_marginals_on_real_corpus(self):
+        queries = [
+            "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'",
+            "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'",
+            "SELECT T.doc_id FROM TOKEN T WHERE "
+            "(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-PER' AND T.doc_id=T1.doc_id)"
+            " = (SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-ORG' AND T.doc_id=T1.doc_id)",
+        ]
+        task = NerTask(600, corpus_seed=11, steps_per_sample=200)
+        naive = task.make_instance(5).evaluator(queries, "naive").run(10)
+        materialized = task.make_instance(5).evaluator(queries, "materialized").run(10)
+        for i in range(len(queries)):
+            assert naive[i].probabilities() == materialized[i].probabilities()
+
+    def test_final_view_state_equals_full_query(self):
+        task = NerTask(500, corpus_seed=13, steps_per_sample=150)
+        instance = task.make_instance(3)
+        sql = "SELECT DOC_ID, COUNT(*) FROM TOKEN WHERE LABEL='B-ORG' GROUP BY DOC_ID"
+        evaluator = instance.evaluator([sql], "materialized")
+        evaluator.run(12)
+        plan = plan_query(instance.db, sql)
+        assert evaluator._views[0].result() == evaluate(plan, instance.db)
+
+
+class TestPaperQueriesEndToEnd:
+    def test_query4_self_join_over_uncertain_world(self):
+        task = NerTask(1500, corpus_seed=17, steps_per_sample=300)
+        instance = task.make_instance(7)
+        sql = (
+            "SELECT T2.STRING FROM TOKEN T1, TOKEN T2 "
+            "WHERE T1.STRING='Boston' AND T1.LABEL='B-ORG' "
+            "AND T1.DOC_ID=T2.DOC_ID AND T2.LABEL='B-PER'"
+        )
+        result = instance.evaluator([sql], "materialized").run(20)
+        probabilities = result.marginals.probabilities()
+        # Answers exist and are genuine probabilities.
+        assert all(0 < p <= 1.0 for p in probabilities.values())
+
+    def test_query3_returns_doc_ids(self):
+        task = NerTask(500, corpus_seed=19, steps_per_sample=150)
+        instance = task.make_instance(2)
+        sql = (
+            "SELECT T.doc_id FROM TOKEN T WHERE "
+            "(SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-PER' AND T.doc_id=T1.doc_id)"
+            " = (SELECT COUNT(*) FROM TOKEN T1 WHERE T1.label='B-ORG' AND T.doc_id=T1.doc_id)"
+        )
+        result = instance.evaluator([sql], "materialized").run(15)
+        doc_ids = {row[0] for row in result.marginals.support()}
+        known_docs = {row[1] for row in instance.db.table("TOKEN").rows()}
+        assert doc_ids <= known_docs
+
+
+class TestDeltaEfficiencyInvariant:
+    def test_delta_size_much_smaller_than_world(self):
+        """|Δ| per sample is bounded by accepted steps, not DB size."""
+        task = NerTask(2000, corpus_seed=23, steps_per_sample=100)
+        instance = task.make_instance(1)
+        recorder = instance.db.attach_recorder()
+        instance.chain.advance()
+        delta = recorder.pop()
+        assert delta.size() <= 2 * 100  # ≤ 2 rows (old+new) per accepted step
+        assert delta.size() < len(instance.db.table("TOKEN"))

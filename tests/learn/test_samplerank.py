@@ -1,0 +1,133 @@
+"""Tests for training objectives and SampleRank."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.fg import Domain, FactorGraph, HiddenVariable, UnaryTemplate, Weights
+from repro.learn import HammingObjective, SampleRankTrainer
+from repro.mcmc import UniformLabelProposer
+
+LETTERS = Domain("letters", ["a", "b", "c"])
+
+
+def make_model(n=6):
+    """Each variable carries an observed hint equal to its true label;
+    SampleRank must learn to trust the hint."""
+    weights = Weights()
+    variables = [HiddenVariable(f"v{i}", LETTERS, "a") for i in range(n)]
+    truth = {f"v{i}": LETTERS.values[i % 3] for i in range(n)}
+    hints = dict(truth)  # observation identical to truth
+
+    def features(variable):
+        return {("hint", hints[variable.name], variable.value): 1.0}
+
+    graph = FactorGraph(variables, [UnaryTemplate("emit", weights, features)])
+    return graph, variables, truth, weights
+
+
+class TestHammingObjective:
+    def test_delta_signs(self):
+        _, variables, truth, _ = make_model()
+        objective = HammingObjective(truth)
+        v0 = variables[0]  # currently 'a', truth 'a'
+        assert objective.delta({v0: "b"}) == -1.0
+        v1 = variables[1]  # currently 'a', truth 'b'
+        assert objective.delta({v1: "b"}) == 1.0
+        assert objective.delta({v1: "c"}) == 0.0
+
+    def test_ignores_unknown_variables(self):
+        objective = HammingObjective({})
+        v = HiddenVariable("x", LETTERS, "a")
+        assert objective.delta({v: "b"}) == 0.0
+
+    def test_score_and_accuracy(self):
+        _, variables, truth, _ = make_model()
+        objective = HammingObjective(truth)
+        # initial: all 'a'; truth cycles a,b,c -> 1/3 correct
+        assert objective.accuracy(variables) == pytest.approx(1 / 3)
+        assert objective.score(variables) == pytest.approx(-4.0)
+
+
+class TestSampleRank:
+    def test_learns_to_separate(self):
+        graph, variables, truth, weights = make_model()
+        objective = HammingObjective(truth)
+        trainer = SampleRankTrainer(
+            graph,
+            UniformLabelProposer(variables),
+            objective,
+            weights,
+            seed=0,
+        )
+        stats = trainer.train(4000)
+        assert stats.updates > 0
+        # Learned weights must rank the true label above the others for
+        # every hint value.
+        for hint in LETTERS.values:
+            true_weight = weights.get("emit", ("hint", hint, hint))
+            for other in LETTERS.values:
+                if other != hint:
+                    assert true_weight > weights.get("emit", ("hint", hint, other))
+
+    def test_training_improves_accuracy(self):
+        graph, variables, truth, weights = make_model(n=9)
+        objective = HammingObjective(truth)
+        before = objective.accuracy(variables)
+        trainer = SampleRankTrainer(
+            graph,
+            UniformLabelProposer(variables),
+            objective,
+            weights,
+            seed=1,
+            walk_policy="objective",
+        )
+        trainer.train(3000)
+        assert objective.accuracy(variables) >= before
+
+    def test_zero_updates_when_model_already_correct(self):
+        graph, variables, truth, weights = make_model()
+        # Pre-set perfectly separating weights with a wide margin.
+        for hint in LETTERS.values:
+            for label in LETTERS.values:
+                weights.set(
+                    "emit", ("hint", hint, label), 10.0 if hint == label else -10.0
+                )
+        trainer = SampleRankTrainer(
+            graph,
+            UniformLabelProposer(variables),
+            HammingObjective(truth),
+            weights,
+            seed=2,
+        )
+        stats = trainer.train(500)
+        assert stats.updates == 0
+
+    def test_invalid_walk_policy(self):
+        graph, variables, truth, weights = make_model()
+        with pytest.raises(InferenceError):
+            SampleRankTrainer(
+                graph,
+                UniformLabelProposer(variables),
+                HammingObjective(truth),
+                weights,
+                walk_policy="nope",
+            )
+
+    def test_margin_forces_updates(self):
+        graph, variables, truth, weights = make_model()
+        # Correct but barely separating weights: margin demands more.
+        for hint in LETTERS.values:
+            for label in LETTERS.values:
+                weights.set(
+                    "emit", ("hint", hint, label), 0.01 if hint == label else -0.01
+                )
+        trainer = SampleRankTrainer(
+            graph,
+            UniformLabelProposer(variables),
+            HammingObjective(truth),
+            weights,
+            margin=1.0,
+            seed=3,
+        )
+        stats = trainer.train(500)
+        assert stats.updates > 0

@@ -1,0 +1,171 @@
+"""Tests for the Gibbs kernel, batch schedule, cluster index and diagnostics."""
+
+import math
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.fg import Domain, FactorGraph, HiddenVariable, UnaryTemplate, Weights
+from repro.mcmc import (
+    ClusterIndex,
+    GibbsSampler,
+    RotatingBatchProposer,
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+)
+from repro.rng import make_rng
+
+BIN = Domain("bin", ["0", "1"])
+
+
+def field_graph(n=1, field=0.9):
+    weights = Weights()
+    weights.set("f", "on", field)
+    variables = [HiddenVariable(f"v{i}", BIN, "0") for i in range(n)]
+    graph = FactorGraph(
+        variables,
+        [UnaryTemplate("f", weights, lambda var: {"on": 1.0} if var.value == "1" else {})],
+    )
+    return graph, variables
+
+
+class TestGibbs:
+    def test_conditional_closed_form(self):
+        graph, variables = field_graph(field=0.9)
+        sampler = GibbsSampler(graph, seed=1)
+        conditional = sampler.conditional(variables[0])
+        expected = math.exp(0.9) / (1 + math.exp(0.9))
+        assert conditional[1] == pytest.approx(expected)
+        assert sum(conditional) == pytest.approx(1.0)
+
+    def test_converges(self):
+        graph, variables = field_graph(field=0.9)
+        sampler = GibbsSampler(graph, seed=2)
+        ones = 0
+        total = 20_000
+        for _ in range(total):
+            sampler.step()
+            ones += variables[0].value == "1"
+        expected = math.exp(0.9) / (1 + math.exp(0.9))
+        assert ones / total == pytest.approx(expected, abs=0.02)
+
+    def test_systematic_scan_visits_all(self):
+        graph, variables = field_graph(n=3, field=0.0)
+        sampler = GibbsSampler(graph, seed=3, random_scan=False)
+        visited = [sampler.step().name for _ in range(3)]
+        assert visited == ["v0", "v1", "v2"]
+
+
+class TestRotatingBatchProposer:
+    def test_rotation_counts(self):
+        graph, variables = field_graph(n=6, field=0.0)
+        groups = {0: variables[:2], 1: variables[2:4], 2: variables[4:]}
+        proposer = RotatingBatchProposer(groups, batch_size=1, proposals_per_batch=10)
+        rng = make_rng(0)
+        for _ in range(35):
+            proposer.propose(rng)
+        assert proposer.rotations == 4  # 1 initial + 3 rotations
+
+    def test_active_set_is_batch_only(self):
+        graph, variables = field_graph(n=6, field=0.0)
+        groups = {0: variables[:3], 1: variables[3:]}
+        proposer = RotatingBatchProposer(groups, batch_size=1, proposals_per_batch=100)
+        rng = make_rng(1)
+        proposer.propose(rng)
+        active = set(v.name for v in proposer.active_variables)
+        assert active in ({"v0", "v1", "v2"}, {"v3", "v4", "v5"})
+
+    def test_validation(self):
+        with pytest.raises(InferenceError):
+            RotatingBatchProposer({}, batch_size=1)
+        graph, variables = field_graph(n=2, field=0.0)
+        with pytest.raises(InferenceError):
+            RotatingBatchProposer({0: []}, batch_size=1)
+        with pytest.raises(InferenceError):
+            RotatingBatchProposer({0: variables}, batch_size=0)
+
+
+class TestClusterIndex:
+    def make_variables(self, assignment):
+        domain = Domain("c", range(len(assignment)))
+        return [
+            HiddenVariable(f"m{i}", domain, value)
+            for i, value in enumerate(assignment)
+        ]
+
+    def test_rebuild_and_members(self):
+        variables = self.make_variables([0, 0, 1])
+        index = ClusterIndex(variables)
+        assert index.num_clusters() == 2
+        assert index.size(0) == 2
+        assert index.members(1) == {variables[2]}
+
+    def test_apply_change(self):
+        variables = self.make_variables([0, 0, 1])
+        index = ClusterIndex(variables)
+        variables[2].set_value(0)
+        index.apply_change(variables[2], 1)
+        assert index.num_clusters() == 1
+        assert index.size(0) == 3
+
+    def test_unused_id(self):
+        variables = self.make_variables([0, 0, 0])
+        index = ClusterIndex(variables)
+        assert index.unused_id() in (1, 2)
+
+    def test_random_pair_distinct(self):
+        variables = self.make_variables([0, 1, 2])
+        index = ClusterIndex(variables)
+        rng = make_rng(3)
+        for _ in range(50):
+            a, b = index.random_pair(rng)
+            assert a is not b
+
+    def test_partition(self):
+        variables = self.make_variables([0, 0, 2])
+        index = ClusterIndex(variables)
+        assert index.partition() == {
+            frozenset({"m0", "m1"}),
+            frozenset({"m2"}),
+        }
+
+
+class TestDiagnostics:
+    def test_autocorrelation_lag0(self):
+        assert autocorrelation([1.0, 2.0, 3.0, 4.0], 0) == pytest.approx(1.0)
+
+    def test_autocorrelation_constant(self):
+        assert autocorrelation([2.0] * 10, 1) == 0.0
+
+    def test_ess_iid_close_to_n(self):
+        rng = make_rng(7)
+        trace = [rng.random() for _ in range(2000)]
+        ess = effective_sample_size(trace)
+        assert ess > 1200
+
+    def test_ess_correlated_much_smaller(self):
+        rng = make_rng(8)
+        trace = [0.0]
+        for _ in range(1999):
+            trace.append(0.98 * trace[-1] + 0.02 * rng.random())
+        assert effective_sample_size(trace) < 300
+
+    def test_gelman_rubin_mixed_chains(self):
+        rng = make_rng(9)
+        chains = [[rng.gauss(0, 1) for _ in range(500)] for _ in range(4)]
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.1)
+
+    def test_gelman_rubin_unmixed_chains(self):
+        rng = make_rng(10)
+        chains = [
+            [rng.gauss(0, 0.1) for _ in range(200)],
+            [rng.gauss(5, 0.1) for _ in range(200)],
+        ]
+        assert gelman_rubin(chains) > 3.0
+
+    def test_validation(self):
+        with pytest.raises(InferenceError):
+            gelman_rubin([[1.0, 2.0]])
+        with pytest.raises(InferenceError):
+            autocorrelation([1.0, 2.0], 5)

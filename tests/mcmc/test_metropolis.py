@@ -1,0 +1,225 @@
+"""Tests for the Metropolis-Hastings kernel and chain driver.
+
+The load-bearing test: the empirical distribution of a long MH run on a
+small enumerable graph matches the exact marginals — the convergence
+guarantee of §3.4.
+"""
+
+import math
+
+import pytest
+
+from repro.db import AttrType, Database, Schema
+from repro.errors import InferenceError
+from repro.fg import (
+    Domain,
+    FactorGraph,
+    FieldVariable,
+    HiddenVariable,
+    PairwiseTemplate,
+    UnaryTemplate,
+    Weights,
+)
+from repro.mcmc import (
+    BlockProposer,
+    MarkovChain,
+    MetropolisHastings,
+    UniformLabelProposer,
+)
+
+BIN = Domain("bin", ["0", "1"])
+
+
+def single_variable_graph(field=0.9):
+    weights = Weights()
+    weights.set("f", "on", field)
+    v = HiddenVariable("v", BIN, "0")
+    graph = FactorGraph(
+        [v],
+        [UnaryTemplate("f", weights, lambda var: {"on": 1.0} if var.value == "1" else {})],
+    )
+    return graph, v
+
+
+def chain_graph(n=3, coupling=0.8, field=0.4):
+    weights = Weights()
+    weights.set("f", "on", field)
+    weights.set("p", "agree", coupling)
+    variables = [HiddenVariable(f"v{i}", BIN, "0") for i in range(n)]
+    index = {v.name: i for i, v in enumerate(variables)}
+
+    def neighbors(var):
+        i = index[var.name]
+        return [
+            variables[j] for j in (i - 1, i + 1) if 0 <= j < len(variables)
+        ]
+
+    graph = FactorGraph(
+        variables,
+        [
+            UnaryTemplate("f", weights, lambda var: {"on": 1.0} if var.value == "1" else {}),
+            PairwiseTemplate(
+                "p", weights, neighbors,
+                lambda a, b: {"agree": 1.0} if a.value == b.value else {},
+            ),
+        ],
+    )
+    return graph, variables
+
+
+class TestKernel:
+    def test_noop_proposal_counted(self):
+        graph, v = single_variable_graph()
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=1)
+        for _ in range(20):
+            kernel.step()
+        assert kernel.stats.proposals == 20
+        assert 0 < kernel.stats.acceptance_rate <= 1.0
+
+    def test_uphill_always_accepted(self):
+        graph, v = single_variable_graph(field=5.0)
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=2)
+        # Force the proposal "set v=1" (uphill by 5 nats).
+        from repro.mcmc.proposal import Proposal
+
+        class Up:
+            def propose(self, rng):
+                return Proposal({v: "1"})
+
+        kernel.proposer = Up()
+        result = kernel.step()
+        assert result.accepted
+        assert v.value == "1"
+
+    def test_temperature_validation(self):
+        graph, v = single_variable_graph()
+        with pytest.raises(ValueError):
+            MetropolisHastings(graph, UniformLabelProposer([v]), temperature=0.0)
+
+    def test_determinism_same_seed(self):
+        graph_a, variables_a = chain_graph()
+        graph_b, variables_b = chain_graph()
+        MetropolisHastings(graph_a, UniformLabelProposer(variables_a), seed=5).run(500)
+        MetropolisHastings(graph_b, UniformLabelProposer(variables_b), seed=5).run(500)
+        assert [v.value for v in variables_a] == [v.value for v in variables_b]
+
+    def test_flush_on_accept_only(self):
+        db = Database()
+        db.create_table(
+            Schema.build("T", [("ID", AttrType.INT), ("L", AttrType.STRING)], key=["ID"])
+        )
+        db.insert("T", (1, "0"))
+        weights = Weights()
+        weights.set("f", "on", 100.0)  # '1' overwhelmingly preferred
+        v = FieldVariable(db, "T", (1,), "L", BIN)
+        graph = FactorGraph(
+            [v],
+            [UnaryTemplate("f", weights, lambda var: {"on": 1.0} if var.value == "1" else {})],
+        )
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=3)
+        kernel.run(50)
+        assert v.value == "1"
+        assert db.table("T").get((1,)) == (1, "1")
+
+    def test_rejected_proposal_restores_values(self):
+        graph, v = single_variable_graph(field=-50.0)  # '1' catastrophically bad
+        from repro.mcmc.proposal import Proposal
+
+        class Up:
+            def propose(self, rng):
+                return Proposal({v: "1"})
+
+        kernel = MetropolisHastings(graph, Up(), seed=4)
+        result = kernel.step()
+        assert not result.accepted
+        assert v.value == "0"
+
+
+class TestConvergence:
+    def test_single_variable_matches_closed_form(self):
+        graph, v = single_variable_graph(field=0.9)
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=11)
+        ones = 0
+        total = 30_000
+        for _ in range(total):
+            kernel.step()
+            ones += v.value == "1"
+        expected = math.exp(0.9) / (1 + math.exp(0.9))
+        assert ones / total == pytest.approx(expected, abs=0.02)
+
+    def test_chain_matches_exact_marginals(self):
+        graph, variables = chain_graph(n=3, coupling=0.8, field=0.4)
+        exact = graph.exact_marginals()
+        kernel = MetropolisHastings(graph, UniformLabelProposer(variables), seed=12)
+        counts = [0] * len(variables)
+        total = 60_000
+        for _ in range(total):
+            kernel.step()
+            for i, variable in enumerate(variables):
+                counts[i] += variable.value == "1"
+        for i in range(len(variables)):
+            assert counts[i] / total == pytest.approx(exact[i]["1"], abs=0.02)
+
+    def test_block_proposer_converges_too(self):
+        graph, variables = chain_graph(n=2, coupling=1.0, field=0.3)
+        exact = graph.exact_marginals()
+        blocks = [variables]  # resample both jointly
+        kernel = MetropolisHastings(graph, BlockProposer(blocks), seed=13)
+        count = 0
+        total = 40_000
+        for _ in range(total):
+            kernel.step()
+            count += variables[0].value == "1"
+        assert count / total == pytest.approx(exact[0]["1"], abs=0.02)
+
+    def test_hastings_correction_for_biased_proposer(self):
+        """An asymmetric proposer with exact q-ratios must still converge."""
+        graph, v = single_variable_graph(field=0.0)  # uniform target
+        from repro.mcmc.proposal import Proposal, ProposalDistribution
+
+        class Biased(ProposalDistribution):
+            # Proposes '1' with probability 0.8, '0' with 0.2.
+            def propose(self, rng):
+                if rng.random() < 0.8:
+                    return Proposal(
+                        {v: "1"},
+                        log_forward=math.log(0.8),
+                        log_backward=math.log(0.2),
+                    )
+                return Proposal(
+                    {v: "0"},
+                    log_forward=math.log(0.2),
+                    log_backward=math.log(0.8),
+                )
+
+        kernel = MetropolisHastings(graph, Biased(), seed=14)
+        ones = 0
+        total = 40_000
+        for _ in range(total):
+            kernel.step()
+            ones += v.value == "1"
+        assert ones / total == pytest.approx(0.5, abs=0.02)
+
+
+class TestMarkovChain:
+    def test_thinning_runs_k_steps_per_sample(self):
+        graph, v = single_variable_graph()
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=1)
+        chain = MarkovChain(kernel, steps_per_sample=25)
+        samples = list(chain.samples(4))
+        assert samples == [0, 1, 2, 3]
+        assert kernel.stats.proposals == 100
+
+    def test_invalid_thinning(self):
+        graph, v = single_variable_graph()
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=1)
+        with pytest.raises(InferenceError):
+            MarkovChain(kernel, steps_per_sample=0)
+
+    def test_run_with_hook(self):
+        graph, v = single_variable_graph()
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=1)
+        chain = MarkovChain(kernel, steps_per_sample=5)
+        seen = []
+        chain.run(3, on_sample=seen.append)
+        assert seen == [0, 1, 2]

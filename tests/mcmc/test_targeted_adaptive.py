@@ -1,0 +1,161 @@
+"""Tests for the §4.1 extensions: query-targeted proposals and
+adaptive thinning."""
+
+import math
+
+import pytest
+
+from repro.db import plan_query
+from repro.errors import InferenceError
+from repro.fg import Domain, FactorGraph, HiddenVariable, UnaryTemplate, Weights
+from repro.ie.ner import NerTask
+from repro.mcmc import (
+    AdaptiveChain,
+    MarkovChain,
+    MetropolisHastings,
+    MixtureProposer,
+    UniformLabelProposer,
+    relevant_variables,
+)
+from repro.core import MaterializedEvaluator, NaiveEvaluator
+
+BIN = Domain("bin", ["0", "1"])
+
+
+def field_graph(n=2, field=0.9):
+    weights = Weights()
+    weights.set("f", "on", field)
+    variables = [HiddenVariable(f"v{i}", BIN, "0") for i in range(n)]
+    graph = FactorGraph(
+        variables,
+        [UnaryTemplate("f", weights, lambda var: {"on": 1.0} if var.value == "1" else {})],
+    )
+    return graph, variables
+
+
+class TestRelevantVariables:
+    def test_label_constrained_query_targets_label_variables(self):
+        task = NerTask(300, corpus_seed=0, steps_per_sample=10)
+        instance = task.make_instance(1)
+        plan = plan_query(instance.db, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+        variables = relevant_variables(plan, instance.model.variables)
+        assert variables  # LABEL is constrained -> all label variables
+        assert all(v.attr == "LABEL" for v in variables)
+
+    def test_extra_filter_narrows(self):
+        task = NerTask(300, corpus_seed=0, steps_per_sample=10)
+        instance = task.make_instance(1)
+        plan = plan_query(instance.db, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+        doc0 = set(v.name for v in instance.model.groups[0])
+        variables = relevant_variables(
+            plan, instance.model.variables, extra_filter=lambda v: v.name in doc0
+        )
+        assert {v.name for v in variables} == doc0
+
+    def test_falls_back_to_all_when_nothing_matches(self):
+        graph, variables = field_graph()
+        task = NerTask(200, corpus_seed=1, steps_per_sample=10)
+        instance = task.make_instance(2)
+        plan = plan_query(instance.db, "SELECT STRING FROM TOKEN")  # no predicate
+        out = relevant_variables(plan, instance.model.variables)
+        assert len(out) == len(instance.model.variables)
+
+
+class TestMixtureProposer:
+    def test_focus_validation(self):
+        graph, variables = field_graph()
+        inner = UniformLabelProposer(variables)
+        with pytest.raises(InferenceError):
+            MixtureProposer(inner, inner, focus=1.5)
+
+    def test_converges_with_global_fallback(self):
+        """Targeting one variable must not bias the stationary dist."""
+        graph, variables = field_graph(n=2, field=0.7)
+        proposer = MixtureProposer(
+            UniformLabelProposer([variables[0]]),
+            UniformLabelProposer(variables),
+            focus=0.7,
+        )
+        kernel = MetropolisHastings(graph, proposer, seed=4)
+        counts = [0, 0]
+        total = 60_000
+        for _ in range(total):
+            kernel.step()
+            counts[0] += variables[0].value == "1"
+            counts[1] += variables[1].value == "1"
+        expected = math.exp(0.7) / (1 + math.exp(0.7))
+        assert counts[0] / total == pytest.approx(expected, abs=0.02)
+        assert counts[1] / total == pytest.approx(expected, abs=0.02)
+
+    def test_focus_concentrates_moves(self):
+        graph, variables = field_graph(n=10, field=0.0)
+        proposer = MixtureProposer(
+            UniformLabelProposer([variables[0]]),
+            UniformLabelProposer(variables),
+            focus=0.9,
+        )
+        kernel = MetropolisHastings(graph, proposer, seed=5)
+        flips = [0] * 10
+        before = [v.value for v in variables]
+        for _ in range(5000):
+            result = kernel.step()
+            for variable in result.changed:
+                index = int(variable.name[1:])
+                flips[index] += 1
+        assert flips[0] > sum(flips[1:])  # most moves hit the target
+
+
+class TestAdaptiveChain:
+    def make_chain(self, initial_k=50, target=0.5):
+        graph, variables = field_graph(n=4, field=0.3)
+        kernel = MetropolisHastings(graph, UniformLabelProposer(variables), seed=6)
+        return AdaptiveChain(
+            kernel, initial_k=initial_k, query_cost_target=target, min_k=5, max_k=5000
+        )
+
+    def test_validation(self):
+        graph, variables = field_graph()
+        kernel = MetropolisHastings(graph, UniformLabelProposer(variables), seed=1)
+        with pytest.raises(InferenceError):
+            AdaptiveChain(kernel, query_cost_target=0.0)
+        with pytest.raises(InferenceError):
+            AdaptiveChain(kernel, min_k=10, max_k=5)
+
+    def test_expensive_queries_raise_k(self):
+        import time
+
+        chain = self.make_chain(initial_k=10, target=0.5)
+        for _ in range(6):
+            chain.advance()
+            time.sleep(0.02)  # simulate a costly query evaluation
+        assert chain.steps_per_sample > 10
+        assert chain.retunes >= 1
+        assert chain.measured_query_seconds > 0
+
+    def test_cheap_queries_lower_k(self):
+        chain = self.make_chain(initial_k=2000, target=0.5)
+        for _ in range(6):
+            chain.advance()  # back-to-back: query time ~ 0
+        assert chain.steps_per_sample < 2000
+
+    def test_bounds_respected(self):
+        import time
+
+        chain = self.make_chain(initial_k=10, target=0.01)
+        chain.max_k = 50
+        for _ in range(4):
+            chain.advance()
+            time.sleep(0.01)
+        assert chain.steps_per_sample <= 50
+
+    def test_works_with_evaluator(self):
+        task = NerTask(300, corpus_seed=3, steps_per_sample=10)
+        instance = task.make_instance(5)
+        chain = AdaptiveChain(
+            instance.kernel, initial_k=20, query_cost_target=0.4, min_k=5
+        )
+        evaluator = MaterializedEvaluator(
+            instance.db, chain, ["SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"]
+        )
+        result = evaluator.run(12)
+        assert result.marginals.num_samples == 13

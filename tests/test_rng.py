@@ -1,0 +1,29 @@
+"""Tests for seeded RNG helpers."""
+
+from repro.rng import make_rng, spawn
+
+
+def test_make_rng_deterministic():
+    assert make_rng(42).random() == make_rng(42).random()
+    assert make_rng(1).random() != make_rng(2).random()
+
+
+def test_spawn_children_differ_by_index():
+    parent_a = make_rng(7)
+    parent_b = make_rng(7)
+    child_0 = spawn(parent_a, 0)
+    child_1 = spawn(parent_b, 1)
+    assert child_0.random() != child_1.random()
+
+
+def test_spawn_deterministic_given_parent_state():
+    a = spawn(make_rng(7), 3)
+    b = spawn(make_rng(7), 3)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_spawn_streams_decorrelated():
+    parent = make_rng(0)
+    children = [spawn(parent, i) for i in range(20)]
+    first_draws = {round(c.random(), 12) for c in children}
+    assert len(first_draws) == 20
