@@ -1,9 +1,11 @@
-"""Quickstart: a probabilistic database in ~60 lines.
+"""Quickstart: one session, every statement class.
 
-Builds a tiny uncertain TOKEN relation, expresses the uncertainty with
-a skip-chain factor graph, and answers a SQL query with tuple marginals
-estimated by Metropolis-Hastings — the whole architecture of the paper
-in miniature.
+``repro.connect()`` opens a SQL session over a probabilistic database.
+This example builds the paper's architecture in miniature — an
+uncertain TOKEN relation, a skip-chain factor graph over its LABEL
+column, an MH chain mutating the stored world — and drives everything
+through that one session: a probabilistic query with tuple marginals,
+anytime refinement, and a plan-cache check.
 
 Run:  python examples/quickstart.py
 """
@@ -16,24 +18,37 @@ QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
 def main() -> None:
     # A pipeline bundles: a synthetic news corpus stored in the TOKEN
     # relation (one concrete possible world), a skip-chain CRF over the
-    # LABEL field, and an MH chain that mutates the stored world.
+    # LABEL field, an MH chain that mutates the stored world — and a
+    # Session wired over all of it.
     pipeline = NerPipeline.small(seed=7)
-    print(f"database: {pipeline.db!r}")
+    session = pipeline.session
+    print(f"session: {session!r}")
     print(f"skip edges in the model: {pipeline.instance.model.num_skip_edges()}")
 
-    # Algorithm 1: the query runs in full exactly once; every subsequent
-    # sample folds a small world-delta into a materialized view.
-    marginals = pipeline.evaluate_query(QUERY, num_samples=150)
+    # A deterministic query runs once against the current world.
+    cursor = session.execute("SELECT COUNT(*) FROM TOKEN")
+    print(f"tokens stored: {cursor.fetchone()[0]}")
 
+    # The same SELECT with samples=N is probabilistic: Algorithm 1 runs
+    # the query once in full, then folds each sampled world's delta
+    # into a materialized view and counts answer membership.
+    cursor = session.execute(QUERY, samples=150)
     print(f"\nPr[t in answer] for {QUERY}")
-    print(f"(estimated from {marginals.num_samples} sampled worlds)\n")
-    for row, probability in marginals.top(10):
+    print(f"(estimated from {cursor.num_samples} sampled worlds)\n")
+    for row, probability in cursor.top(10):
         bar = "#" * int(probability * 40)
         print(f"  {row[0]:<12} {probability:5.3f} {bar}")
 
-    # Every query is any-time: more samples, better estimates.
-    more = pipeline.evaluate_query(QUERY, num_samples=300)
-    print(f"\nafter {more.num_samples} more samples, top answer: {more.top(1)}")
+    # Every cursor is anytime: refine() draws more samples through the
+    # same evaluator (the view state persists) and re-ranks in place.
+    cursor.refine(300)
+    print(f"\nafter refining to {cursor.num_samples} samples, "
+          f"top answer: {cursor.top(1)}")
+
+    # Repeated execution hits the plan cache — no re-parse, no
+    # re-compile, and the probabilistic runner continues its chain.
+    info = session.cache_info()
+    print(f"\nplan cache: {info.hits} hits, {info.misses} misses")
 
 
 if __name__ == "__main__":

@@ -1,67 +1,51 @@
-"""The relational substrate on its own: a deterministic SQL playground.
+"""The relational substrate on its own: a deterministic SQL session.
 
 The DBMS under the probabilistic layer is a complete engine — typed
 schemas, hash joins, aggregates, correlated subqueries, incremental
-materialized views.  This example uses it directly, then shows a view
-being maintained under updates (the machinery Algorithm 1 runs on).
+materialized views — and since the ``repro.connect()`` redesign it is
+fully drivable from SQL strings: DDL creates the schema, DML loads and
+mutates it, SELECT queries it.  The finale shows a materialized view
+being maintained under SQL-driven updates (the machinery Algorithm 1
+runs on).
 
 Run:  python examples/sql_playground.py
 """
 
-from repro.db import (
-    AttrType,
-    Database,
-    MaterializedView,
-    Schema,
-    plan_query,
-    query_rows,
-)
+import repro
+from repro.db import MaterializedView, plan_query
 
-DDL = [
-    ("CITY", [("NAME", AttrType.STRING), ("STATE", AttrType.STRING),
-              ("POP", AttrType.INT)], ["NAME"]),
-    ("TEAM", [("TEAM", AttrType.STRING), ("CITY", AttrType.STRING),
-              ("WINS", AttrType.INT)], ["TEAM"]),
-]
-
-CITIES = [
-    ("Boston", "MA", 675),
-    ("Worcester", "MA", 206),
-    ("Hartford", "CT", 121),
-    ("Providence", "RI", 190),
-]
-TEAMS = [
-    ("Red Sox", "Boston", 92),
-    ("Celtics", "Boston", 57),
-    ("Wolves", "Hartford", 41),
-    ("Rays", "Providence", 60),
-]
+SCRIPT = """
+CREATE TABLE CITY (NAME TEXT PRIMARY KEY, STATE TEXT, POP INT);
+CREATE TABLE TEAM (TEAM TEXT PRIMARY KEY, CITY TEXT, WINS INT);
+INSERT INTO CITY VALUES
+    ('Boston', 'MA', 675), ('Worcester', 'MA', 206),
+    ('Hartford', 'CT', 121), ('Providence', 'RI', 190);
+INSERT INTO TEAM VALUES
+    ('Red Sox', 'Boston', 92), ('Celtics', 'Boston', 57),
+    ('Wolves', 'Hartford', 41), ('Rays', 'Providence', 60);
+"""
 
 
 def main() -> None:
-    db = Database("demo")
-    for name, cols, key in DDL:
-        db.create_table(Schema.build(name, cols, key=key))
-    db.insert_many("CITY", CITIES)
-    db.insert_many("TEAM", TEAMS)
+    session = repro.connect(name="demo")
+    session.execute_script(SCRIPT)
+    print(f"tables: {session.tables()}")
 
-    print("join + filter + order:")
-    rows = query_rows(
-        db,
+    print("\njoin + filter + order:")
+    cursor = session.execute(
         "SELECT T.TEAM, C.STATE FROM TEAM T JOIN CITY C ON T.CITY = C.NAME "
-        "WHERE C.POP > 150 ORDER BY T.TEAM",
+        "WHERE C.POP > 150 ORDER BY T.TEAM"
     )
-    for row in rows:
+    for row in cursor:
         print("  ", row)
 
     print("\ngroup-by with HAVING:")
-    rows = query_rows(
-        db,
+    cursor = session.execute(
         "SELECT C.STATE, COUNT(*), AVG(T.WINS) FROM TEAM T, CITY C "
         "WHERE T.CITY = C.NAME GROUP BY C.STATE HAVING COUNT(*) >= 1 "
-        "ORDER BY C.STATE",
+        "ORDER BY C.STATE"
     )
-    for row in rows:
+    for row in cursor:
         print("  ", row)
 
     print("\ncorrelated scalar subquery (decorrelated automatically):")
@@ -70,17 +54,32 @@ def main() -> None:
         "(SELECT COUNT(*) FROM TEAM T WHERE T.CITY = C.NAME) >= 2"
     )
     print("  plan:")
-    for line in plan_query(db, sql).describe().splitlines():
+    for line in plan_query(session.database, sql).describe().splitlines():
         print("   |", line)
-    print("  answer:", query_rows(db, sql))
+    print("  answer:", session.execute(sql).fetchall())
 
-    print("\nincremental view maintenance:")
+    print("\nDML: an UPDATE and a DELETE, with rowcounts:")
+    cursor = session.execute("UPDATE TEAM SET WINS = WINS + 1 WHERE CITY = 'Boston'")
+    print(f"  updated {cursor.rowcount} rows")
+    cursor = session.execute("DELETE FROM TEAM WHERE WINS < 45")
+    print(f"  deleted {cursor.rowcount} rows")
+    print("  remaining:", session.execute("SELECT TEAM FROM TEAM ORDER BY TEAM").fetchall())
+
+    print("\nplan cache (same statement re-executed):")
+    for _ in range(3):
+        session.execute("SELECT COUNT(*) FROM TEAM")
+    info = session.cache_info()
+    print(f"  {info.hits} hits, {info.misses} misses, {info.size} cached plans")
+
+    print("\nincremental view maintenance under SQL DML:")
     view_sql = "SELECT CITY, COUNT(*) FROM TEAM GROUP BY CITY"
+    db = session.database
     recorder = db.attach_recorder()
     view = MaterializedView(db, plan_query(db, view_sql))
+    recorder.pop()  # view construction reads, never writes
     print("  initial:", sorted(view.support()))
-    db.insert("TEAM", ("Bruins", "Boston", 47))
-    db.delete("TEAM", ("Rays",))
+    session.execute("INSERT INTO TEAM VALUES ('Bruins', 'Boston', 47)")
+    session.execute("DELETE FROM TEAM WHERE TEAM = 'Rays'")
     answer_delta = view.apply(recorder.pop())
     print("  delta applied:", sorted(answer_delta.items()))
     print("  maintained:", sorted(view.support()))

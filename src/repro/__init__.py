@@ -13,22 +13,39 @@ The package provides:
 * :mod:`repro.core` — the paper's contribution: MCMC query evaluation,
   naive (Algorithm 3) and view-maintenance based (Algorithm 1);
 * :mod:`repro.ie` — the two applications of the paper: named entity
-  recognition with a skip-chain CRF, and entity resolution.
+  recognition with a skip-chain CRF, and entity resolution;
+* :mod:`repro.api` — the public front door: :func:`repro.connect`
+  opens a SQL session (DDL, DML, deterministic and probabilistic
+  queries) over one probabilistic database.
 
 Quickstart::
 
+    import repro
     from repro.ie.ner import NerPipeline
 
-    pipeline = NerPipeline.small(seed=7)
-    result = pipeline.evaluate_query(
-        "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", num_samples=50
+    session = NerPipeline.small(seed=7).session
+    cursor = session.execute(
+        "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", samples=50
     )
-    for row, probability in result.top(10):
+    for row, probability in cursor.top(10):
         print(row, probability)
+    cursor.refine(200)  # anytime: more samples, sharper estimates
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from repro.api import AnytimeCursor, Cursor, Session, connect
+from repro.db import AttrType, Database, Schema
+
+__all__ = [
+    "AnytimeCursor",
+    "AttrType",
+    "Cursor",
+    "Database",
+    "Schema",
+    "Session",
+    "connect",
+    "__version__",
+]

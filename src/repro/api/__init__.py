@@ -1,0 +1,21 @@
+"""The public session API: ``repro.connect()`` and friends.
+
+One stable surface over the whole system — the relational engine, the
+factor-graph models and the MCMC evaluators — so that applications (and
+future scaling work: sharding, batching, caching) sit behind a single
+entry point.  See :mod:`repro.api.session` for the full tour.
+"""
+
+from repro.api.cursor import AnytimeCursor, Cursor
+from repro.api.plan_cache import CacheInfo, PlanCache, normalize_sql
+from repro.api.session import Session, connect
+
+__all__ = [
+    "AnytimeCursor",
+    "CacheInfo",
+    "Cursor",
+    "PlanCache",
+    "Session",
+    "connect",
+    "normalize_sql",
+]

@@ -1,0 +1,156 @@
+"""Cursors: DB-API-flavored result handles, deterministic and anytime.
+
+A :class:`Cursor` is what :meth:`repro.api.session.Session.execute`
+returns.  Deterministic statements produce a plain cursor over fixed
+rows; probabilistic queries produce an :class:`AnytimeCursor` whose
+rows carry an estimated membership probability and which can be
+*refined* — more MCMC samples sharpen the same answer in place, the
+anytime property of the paper's Algorithms 1 and 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.evaluator import EvaluationResult
+from repro.core.marginals import MarginalEstimator
+from repro.errors import EvaluationError
+
+__all__ = ["Cursor", "AnytimeCursor"]
+
+Row = Tuple[Any, ...]
+
+
+class Cursor:
+    """A finished statement's result handle.
+
+    ``description`` follows the DB-API shape (7-item tuples, name and
+    type code filled in); ``rowcount`` is the number of affected rows
+    for DML, the number of result rows for queries, and 0 for DDL.
+    """
+
+    def __init__(
+        self,
+        *,
+        statement_kind: str,
+        rows: Sequence[Row] = (),
+        columns: Sequence[tuple[str, Any]] = (),
+        rowcount: Optional[int] = None,
+    ):
+        self.statement_kind = statement_kind
+        self._rows: List[Row] = list(rows)
+        self._pos = 0
+        self.description = tuple(
+            (name, type_code, None, None, None, None, None)
+            for name, type_code in columns
+        )
+        self.rowcount = len(self._rows) if rowcount is None else rowcount
+
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(d[0] for d in self.description)
+
+    def fetchone(self) -> Optional[Row]:
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> List[Row]:
+        rows = self._rows[self._pos : self._pos + size]
+        self._pos += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Row]:
+        rows = self._rows[self._pos :]
+        self._pos = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.statement_kind}, "
+            f"{len(self._rows)} rows, rowcount={self.rowcount})"
+        )
+
+
+class AnytimeCursor(Cursor):
+    """Rows with estimated ``Pr[t ∈ Q(W)]``, refinable in place.
+
+    Each row is the answer tuple with its probability appended as the
+    final column (``probability`` in ``description``).  Rows are sorted
+    most-probable first.  :meth:`refine` draws more MCMC samples through
+    the same evaluator — cheap for the materialized strategy, since the
+    view state persists — and re-ranks the rows.
+    """
+
+    def __init__(
+        self,
+        *,
+        runner,
+        result: EvaluationResult,
+        columns: Sequence[tuple[str, Any]] = (),
+    ):
+        self._runner = runner
+        self._result = result
+        super().__init__(
+            statement_kind="probabilistic",
+            columns=tuple(columns) + (("probability", float),),
+        )
+        self._reload()
+
+    def _reload(self) -> None:
+        estimator = self.marginals()
+        self._rows = [
+            row + (probability,)
+            for row, probability in sorted(
+                estimator.probabilities().items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        self._pos = 0
+        self.rowcount = len(self._rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def result(self) -> EvaluationResult:
+        """The raw :class:`EvaluationResult` (estimators + elapsed time)."""
+        return self._result
+
+    def marginals(self, query_index: int = 0) -> MarginalEstimator:
+        """The marginal estimator for the executed query."""
+        return self._result.estimators[query_index]
+
+    @property
+    def num_samples(self) -> int:
+        return self.marginals().num_samples
+
+    def refine(self, more_samples: int, burn_in: int = 0) -> "AnytimeCursor":
+        """Draw ``more_samples`` additional thinned samples and re-rank.
+
+        Returns ``self`` so calls chain: ``cursor.refine(100).fetchall()``.
+        """
+        if more_samples < 1:
+            raise EvaluationError("refine() needs at least one sample")
+        self._result = self._runner.run(more_samples, burn_in=burn_in)
+        self._reload()
+        return self
+
+    def probability(self, row: Row) -> float:
+        """``Pr[row ∈ Q(W)]`` for an answer tuple (without the appended
+        probability column)."""
+        return self.marginals().probability(row)
+
+    def top(self, n: int) -> List[Tuple[Row, float]]:
+        """The ``n`` most probable answer tuples with probabilities."""
+        return self.marginals().top(n)

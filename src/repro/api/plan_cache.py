@@ -1,0 +1,99 @@
+"""Plan caching keyed by normalized SQL text.
+
+Compiling SQL is pure overhead when the same query is executed again —
+and re-executing the same query is the norm in this system (every MCMC
+sample, every ``refine()``, every dashboard poll).  The cache maps a
+*normalized* rendering of the statement (case-folded keywords and
+identifiers, canonical whitespace) to whatever the session stored for
+it: a compiled plan for SELECT, a parsed statement for DML.
+
+The cache is LRU-bounded and counts hits/misses so callers can verify
+caching behavior (:meth:`PlanCache.info`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional
+
+from repro.db.sql.lexer import TokenType, tokenize
+
+__all__ = ["CacheInfo", "PlanCache", "normalize_sql"]
+
+
+def normalize_sql(sql: str) -> str:
+    """A canonical single-line rendering of ``sql``.
+
+    Two statements that differ only in whitespace, keyword case,
+    identifier case, or a trailing ``;`` normalize identically —
+    identifiers are matched case-insensitively throughout the engine,
+    so folding them is safe.  String literals keep their case.
+    """
+    parts: list[str] = []
+    for token in tokenize(sql):
+        if token.kind is TokenType.EOF:
+            break
+        if token.kind is TokenType.KEYWORD:
+            parts.append(token.value)
+        elif token.kind is TokenType.IDENT:
+            parts.append(token.value.lower())
+        elif token.kind is TokenType.STRING:
+            parts.append("'" + token.value.replace("'", "''") + "'")
+        elif token.kind is TokenType.NUMBER:
+            parts.append(repr(token.value))
+        else:
+            parts.append(str(token.value))
+    while parts and parts[-1] == ";":
+        parts.pop()
+    return " ".join(parts)
+
+
+class CacheInfo(NamedTuple):
+    """Counters exposed by :meth:`PlanCache.info`."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class PlanCache:
+    """A bounded LRU mapping of normalized SQL → cached entry."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("plan cache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._entries: dict[str, Any] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached entry for ``key``, or ``None``; counts hit/miss."""
+        try:
+            entry = self._entries.pop(key)
+        except KeyError:
+            self._misses += 1
+            return None
+        # Re-insert to mark most-recently-used (dicts preserve order).
+        self._entries[key] = entry
+        self._hits += 1
+        return entry
+
+    def put(self, key: str, entry: Any) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+
+    def clear(self) -> None:
+        """Drop all entries (hit/miss counters are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self._hits, self._misses, len(self._entries), self.maxsize)

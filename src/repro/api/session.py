@@ -1,0 +1,412 @@
+"""``repro.connect()`` — the unified probabilistic-SQL session.
+
+The paper's thesis is that a factor graph plus MCMC can sit *behind* an
+ordinary relational query interface.  :class:`Session` is that front
+door: one object that answers every statement class from SQL strings —
+
+* **DDL** — ``CREATE TABLE`` / ``DROP TABLE`` manage the schema;
+* **DML** — ``INSERT`` / ``UPDATE`` / ``DELETE`` mutate the stored
+  possible world (observed by any attached delta recorders);
+* **deterministic queries** — ``SELECT`` evaluated once against the
+  current world;
+* **probabilistic queries** — the same ``SELECT`` executed with
+  ``samples=N`` routes through the MCMC evaluators of
+  :mod:`repro.core` and returns an anytime cursor of tuple marginals.
+
+Compiled plans are cached by normalized SQL, so repeated execution of
+the same statement skips the parser and compiler entirely; probabilistic
+runners (and their materialized view state) are cached the same way, so
+re-executing a probabilistic query *continues* the chain rather than
+restarting it.
+
+Typical usage::
+
+    import repro
+
+    session = repro.connect()
+    session.execute("CREATE TABLE CITY (NAME TEXT PRIMARY KEY, POP INT)")
+    session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+    for row in session.execute("SELECT NAME FROM CITY WHERE POP > 100"):
+        print(row)
+
+    # Probabilistic evaluation requires an attached model/chain:
+    session.attach_model(instance)          # anything with a .chain
+    cursor = session.execute(query, samples=100)
+    for *row, probability in cursor:
+        print(row, probability)
+    cursor.refine(400)                       # anytime: sharpen in place
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.api.cursor import AnytimeCursor, Cursor
+from repro.api.plan_cache import CacheInfo, PlanCache, normalize_sql
+from repro.core.evaluator import EvaluationResult, QueryEvaluator
+from repro.core.marginals import MarginalEstimator
+from repro.core.materialized import MaterializedEvaluator
+from repro.core.naive import NaiveEvaluator
+from repro.db.database import Database
+from repro.db.ra.ast import PlanNode
+from repro.db.ra.eval import evaluate_rows
+from repro.db.sql.ast import SelectStmt, Statement
+from repro.db.sql.compiler import compile_select
+from repro.db.sql.executor import execute_statement
+from repro.db.sql.parser import parse_script, parse_statement
+from repro.errors import EvaluationError, QueryError
+from repro.mcmc.chain import MarkovChain
+
+__all__ = ["Session", "connect"]
+
+# Builds one chain's world and sampler for parallel evaluation:
+# ``factory(index) -> (database_copy, chain)``.
+ChainFactory = Callable[[int], Tuple[Database, MarkovChain]]
+
+_EVALUATOR_CLASSES = {
+    "materialized": MaterializedEvaluator,
+    "naive": NaiveEvaluator,
+}
+
+
+def connect(
+    database: Optional[Database] = None,
+    *,
+    name: str = "pdb",
+    plan_cache_size: int = 128,
+) -> "Session":
+    """Open a :class:`Session` over ``database`` (or a fresh one)."""
+    return Session(database, name=name, plan_cache_size=plan_cache_size)
+
+
+class _ChainRunner:
+    """Drives one query evaluator; the initial world is counted as a
+    sample only on the first run (later runs extend the same chain)."""
+
+    def __init__(self, evaluator: QueryEvaluator):
+        self.evaluator = evaluator
+        self._first = True
+
+    def run(self, samples: int, burn_in: int = 0) -> EvaluationResult:
+        include_initial = self._first
+        self._first = False
+        return self.evaluator.run(
+            samples, include_initial_sample=include_initial, burn_in=burn_in
+        )
+
+
+class _ParallelRunner:
+    """Drives K independent chains (each its own world copy via the
+    chain factory) and pools their marginal estimates (paper §5.4).
+
+    Deliberately not :class:`repro.core.parallel.ParallelEvaluator`:
+    that class rebuilds its chains on every ``run()`` (restart
+    semantics), while an anytime cursor needs the evaluators — and
+    their materialized view state — to persist across ``refine()``
+    calls so later runs continue the same chains."""
+
+    def __init__(self, factory: ChainFactory, plan: PlanNode, chains: int):
+        self.evaluators: List[QueryEvaluator] = []
+        for index in range(chains):
+            db, chain = factory(index)
+            self.evaluators.append(MaterializedEvaluator(db, chain, [plan]))
+        self._first = True
+
+    def run(self, samples: int, burn_in: int = 0) -> EvaluationResult:
+        include_initial = self._first
+        self._first = False
+        elapsed = 0.0
+        for evaluator in self.evaluators:
+            result = evaluator.run(
+                samples, include_initial_sample=include_initial, burn_in=burn_in
+            )
+            elapsed += result.elapsed
+        merged = [MarginalEstimator() for _ in self.evaluators[0].estimators]
+        for evaluator in self.evaluators:
+            for target, source in zip(merged, evaluator.estimators):
+                target.merge(source)
+        return EvaluationResult(merged, elapsed)
+
+
+def _dispose_runner(runner: Any) -> None:
+    """Release a runner's resources (materialized evaluators hold a
+    delta recorder on their database until detached)."""
+    evaluators = (
+        runner.evaluators
+        if isinstance(runner, _ParallelRunner)
+        else [runner.evaluator]
+    )
+    for evaluator in evaluators:
+        detach = getattr(evaluator, "detach", None)
+        if detach is not None:
+            detach()
+
+
+class Session:
+    """A connection-like handle over one probabilistic database.
+
+    Parameters
+    ----------
+    database:
+        An existing :class:`~repro.db.database.Database` to adopt, or
+        ``None`` to create an empty one named ``name``.
+    plan_cache_size:
+        LRU bound of the compiled-plan cache.
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        name: str = "pdb",
+        plan_cache_size: int = 128,
+    ):
+        self.database = database if database is not None else Database(name)
+        self._plans = PlanCache(plan_cache_size)
+        self._runners: dict[tuple, Any] = {}
+        self._model: Any = None
+        self._chain: Optional[MarkovChain] = None
+        self._chain_factory: Optional[ChainFactory] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach evaluators and refuse further statements."""
+        for runner in self._runners.values():
+            _dispose_runner(runner)
+        self._runners.clear()
+        self._plans.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EvaluationError("session is closed")
+
+    # ------------------------------------------------------------------
+    # Model attachment
+    # ------------------------------------------------------------------
+    def attach_model(
+        self,
+        model: Any = None,
+        *,
+        chain: Optional[MarkovChain] = None,
+        chain_factory: Optional[ChainFactory] = None,
+    ) -> "Session":
+        """Register the generative side of the probabilistic database.
+
+        ``model`` may be anything exposing a ``chain`` attribute (a
+        :class:`~repro.ie.ner.pdb.NerInstance`, a coref pipeline, ...)
+        or a bare :class:`~repro.mcmc.chain.MarkovChain`.  The chain
+        must mutate *this* session's database.  ``chain_factory`` —
+        ``factory(i) -> (db_copy, chain)`` — additionally enables
+        ``evaluator="parallel"`` execution over independent world
+        copies.
+
+        Returns ``self`` so the call chains off :func:`connect`.
+        """
+        self._check_open()
+        if isinstance(model, MarkovChain) and chain is None:
+            model, chain = None, model
+        if chain is None and model is not None:
+            chain = getattr(model, "chain", None)
+        if chain is None and chain_factory is None:
+            raise EvaluationError(
+                "attach_model() needs a chain (or an object with a .chain) "
+                "or a chain_factory"
+            )
+        model_db = getattr(model, "db", None)
+        if chain is not None and model_db is not None and model_db is not self.database:
+            raise EvaluationError(
+                "the attached model's database is not this session's database; "
+                "connect(model.db) first"
+            )
+        if chain is not None and chain is not self._chain:
+            self._chain = chain
+            self._drop_runners(parallel=False)
+        if chain_factory is not None and chain_factory is not self._chain_factory:
+            self._chain_factory = chain_factory
+            self._drop_runners(parallel=True)
+        if model is not None:
+            self._model = model
+        return self
+
+    @property
+    def model(self) -> Any:
+        """The attached model object (``None`` until attach_model)."""
+        return self._model
+
+    def _drop_runners(self, parallel: bool) -> None:
+        for key in [k for k in self._runners if (k[1] == "parallel") == parallel]:
+            _dispose_runner(self._runners.pop(key))
+
+    # ------------------------------------------------------------------
+    # Statement routing
+    # ------------------------------------------------------------------
+    def classify(self, sql: str) -> str:
+        """``"ddl"``, ``"dml"`` or ``"query"`` for one statement."""
+        return parse_statement(sql).kind
+
+    def _route(self, sql: str) -> tuple[str, str, Any]:
+        """Resolve ``sql`` to ``(cache_key, kind, payload)``.
+
+        SELECT payloads are compiled plans, DML payloads parsed
+        statements — both served from the plan cache.  DDL is never
+        cached: it changes the schema as it executes.
+        """
+        key = normalize_sql(sql)
+        entry = self._plans.get(key)
+        if entry is None:
+            stmt: Statement = parse_statement(sql)
+            if isinstance(stmt, SelectStmt):
+                entry = ("query", compile_select(stmt, self.database))
+                self._plans.put(key, entry)
+            elif stmt.kind == "ddl":
+                entry = ("ddl", stmt)
+            else:
+                entry = ("dml", stmt)
+                self._plans.put(key, entry)
+        return key, entry[0], entry[1]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        *,
+        samples: Optional[int] = None,
+        evaluator: str = "materialized",
+        chains: int = 1,
+        burn_in: int = 0,
+    ) -> Cursor:
+        """Execute one SQL statement and return its cursor.
+
+        Without ``samples`` a SELECT is deterministic: it runs once
+        against the current possible world.  With ``samples=N`` it is
+        probabilistic: ``N`` thinned MCMC samples estimate
+        ``Pr[t ∈ Q(W)]`` per answer tuple, via the ``evaluator``
+        strategy (``"materialized"`` — Algorithm 1, ``"naive"`` —
+        Algorithm 3, or ``"parallel"`` — ``chains`` pooled independent
+        chains).  Re-executing the same SQL reuses the cached plan and,
+        for probabilistic queries, continues the cached evaluator, so
+        marginals accumulate across calls exactly like
+        :meth:`AnytimeCursor.refine`.
+        """
+        self._check_open()
+        key, kind, payload = self._route(sql)
+        if kind == "ddl":
+            execute_statement(self.database, payload)
+            # Schema changed: cached plans and view state may be stale.
+            self._plans.clear()
+            self._drop_runners(parallel=False)
+            self._drop_runners(parallel=True)
+            return Cursor(statement_kind="ddl", rowcount=0)
+        if kind == "dml":
+            rowcount = execute_statement(self.database, payload)
+            return Cursor(statement_kind="dml", rowcount=rowcount)
+
+        plan: PlanNode = payload
+        if samples is None:
+            columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
+            return Cursor(
+                statement_kind="query",
+                rows=evaluate_rows(plan, self.database),
+                columns=columns,
+            )
+        runner = self._prepare_routed(key, plan, evaluator, chains)
+        result = runner.run(samples, burn_in=burn_in)
+        columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
+        return AnytimeCursor(runner=runner, result=result, columns=columns)
+
+    def execute_script(self, sql: str) -> Cursor:
+        """Execute a ``;``-separated script; returns the last cursor."""
+        self._check_open()
+        cursor = Cursor(statement_kind="ddl", rowcount=0)
+        for stmt in parse_script(sql):
+            if isinstance(stmt, SelectStmt):
+                plan = compile_select(stmt, self.database)
+                columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
+                cursor = Cursor(
+                    statement_kind="query",
+                    rows=evaluate_rows(plan, self.database),
+                    columns=columns,
+                )
+            else:
+                rowcount = execute_statement(self.database, stmt)
+                if stmt.kind == "ddl":
+                    self._plans.clear()
+                    self._drop_runners(parallel=False)
+                    self._drop_runners(parallel=True)
+                cursor = Cursor(statement_kind=stmt.kind, rowcount=rowcount)
+        return cursor
+
+    def prepare(self, sql: str, *, evaluator: str = "materialized", chains: int = 1):
+        """The (cached) probabilistic runner for ``sql``.
+
+        Advanced entry point used by the pipeline facades; most callers
+        want :meth:`execute` with ``samples=``.
+        """
+        self._check_open()
+        key, kind, plan = self._route(sql)
+        if kind != "query":
+            raise QueryError(f"only SELECT can be evaluated probabilistically ({kind})")
+        return self._prepare_routed(key, plan, evaluator, chains)
+
+    def _prepare_routed(self, key: str, plan: PlanNode, evaluator: str, chains: int):
+        if evaluator == "parallel":
+            if self._chain_factory is None:
+                raise EvaluationError(
+                    "parallel evaluation needs a chain_factory; pass one to "
+                    "attach_model()"
+                )
+            if chains < 1:
+                raise EvaluationError("need at least one chain")
+            runner_key = (key, "parallel", chains)
+            runner = self._runners.get(runner_key)
+            if runner is None:
+                runner = _ParallelRunner(self._chain_factory, plan, chains)
+                self._runners[runner_key] = runner
+            return runner
+        evaluator_cls = _EVALUATOR_CLASSES.get(evaluator)
+        if evaluator_cls is None:
+            raise EvaluationError(
+                f"unknown evaluator kind {evaluator!r} "
+                f"(expected one of {sorted(_EVALUATOR_CLASSES)} or 'parallel')"
+            )
+        if self._chain is None:
+            raise EvaluationError(
+                "probabilistic execution needs an attached model; call "
+                "attach_model() first"
+            )
+        runner_key = (key, evaluator)
+        runner = self._runners.get(runner_key)
+        if runner is None:
+            runner = _ChainRunner(evaluator_cls(self.database, self._chain, [plan]))
+            self._runners[runner_key] = runner
+        return runner
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def tables(self) -> list[str]:
+        """Names of the tables in this session's database."""
+        return self.database.table_names()
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the plan cache."""
+        return self._plans.info()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({self.database.name}, {state}, "
+            f"tables={self.database.table_names()})"
+        )

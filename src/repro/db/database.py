@@ -152,12 +152,13 @@ class Database:
     def restore(self, snap: Snapshot) -> None:
         """Reset all tables to ``snap`` (reported to recorders as
         delete-all + insert-all)."""
-        for key in snap.table_names():
+        snapshot_keys = set(snap.table_names())
+        for key in snapshot_keys:
             if key not in self._tables:
                 self.create_table(snap.schema(key))
         for key, table in self._tables.items():
             table.clear()
-            for row in snap.rows(key) if key in set(snap.table_names()) else ():
+            for row in snap.rows(key) if key in snapshot_keys else ():
                 table.insert(row)
 
     @classmethod

@@ -1,6 +1,15 @@
-"""SQL front end: lexer, parser, and SQL→relational-algebra compiler."""
+"""SQL front end: lexer, parser, SQL→relational-algebra compiler, and
+the DDL/DML executor."""
 
 from repro.db.sql.compiler import compile_select, plan_query
-from repro.db.sql.parser import parse
+from repro.db.sql.executor import execute_statement
+from repro.db.sql.parser import parse, parse_script, parse_statement
 
-__all__ = ["compile_select", "parse", "plan_query"]
+__all__ = [
+    "compile_select",
+    "execute_statement",
+    "parse",
+    "parse_script",
+    "parse_statement",
+    "plan_query",
+]

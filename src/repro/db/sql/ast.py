@@ -18,7 +18,21 @@ from repro.db.schema import Schema
 from repro.db.types import AttrType
 from repro.errors import QueryError
 
-__all__ = ["AggCall", "ScalarSubquery", "TableRef", "SelectItem", "OrderItem", "SelectStmt"]
+__all__ = [
+    "AggCall",
+    "ScalarSubquery",
+    "TableRef",
+    "SelectItem",
+    "OrderItem",
+    "SelectStmt",
+    "ColumnDef",
+    "CreateTableStmt",
+    "DropTableStmt",
+    "InsertStmt",
+    "UpdateStmt",
+    "DeleteStmt",
+    "Statement",
+]
 
 
 @dataclass(frozen=True)
@@ -113,3 +127,92 @@ class SelectStmt:
     limit: Optional[int] = None
     distinct: bool = False
     select_star: bool = False
+
+    kind = "query"
+
+
+# ----------------------------------------------------------------------
+# DDL
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a CREATE TABLE statement."""
+
+    name: str
+    attr_type: AttrType
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    """``CREATE TABLE [IF NOT EXISTS] name (col TYPE, ..., PRIMARY KEY (...))``."""
+
+    table: str
+    columns: tuple[ColumnDef, ...]
+    key: tuple[str, ...] = ()
+    if_not_exists: bool = False
+
+    kind = "ddl"
+
+
+@dataclass(frozen=True)
+class DropTableStmt:
+    """``DROP TABLE [IF EXISTS] name``."""
+
+    table: str
+    if_exists: bool = False
+
+    kind = "ddl"
+
+
+# ----------------------------------------------------------------------
+# DML
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InsertStmt:
+    """``INSERT INTO name [(cols)] VALUES (...), (...)``.
+
+    Each value is an :class:`~repro.db.ra.ast.Expr` that must be
+    constant (literals and arithmetic over literals).
+    """
+
+    table: str
+    columns: Optional[tuple[str, ...]]  # None means schema order
+    rows: tuple[tuple[Expr, ...], ...]
+
+    kind = "dml"
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    """``UPDATE name SET col = expr, ... [WHERE pred]``.
+
+    SET expressions may reference columns of the updated row
+    (``SET WINS = WINS + 1``).
+    """
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+    kind = "dml"
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE FROM name [WHERE pred]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+    kind = "dml"
+
+
+# Any parseable top-level statement.
+Statement = (
+    SelectStmt
+    | CreateTableStmt
+    | DropTableStmt
+    | InsertStmt
+    | UpdateStmt
+    | DeleteStmt
+)

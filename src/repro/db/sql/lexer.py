@@ -1,10 +1,12 @@
 """SQL tokenizer.
 
 Produces a flat token stream for the recursive-descent parser.  The
-dialect is the subset used throughout the paper: SELECT / FROM / WHERE
+dialect is the subset used throughout the paper — SELECT / FROM / WHERE
 with joins, aggregates, GROUP BY / HAVING, scalar subqueries, ORDER BY
-and LIMIT.  Strings use single quotes with ``''`` escaping; keywords
-and identifiers are case-insensitive.
+and LIMIT — plus the DDL/DML statements (CREATE/DROP TABLE, INSERT,
+UPDATE, DELETE) that make a database fully drivable from SQL strings.
+Strings use single quotes with ``''`` escaping; keywords and
+identifiers are case-insensitive.
 """
 
 from __future__ import annotations
@@ -33,6 +35,9 @@ KEYWORDS = frozenset(
         "order", "limit", "as", "and", "or", "not", "in", "like", "between",
         "count", "sum", "avg", "min", "max", "join", "inner", "on",
         "union", "all", "asc", "desc",
+        # DDL / DML statement keywords
+        "create", "table", "drop", "if", "exists", "primary", "key",
+        "insert", "into", "values", "update", "set", "delete",
     }
 )
 

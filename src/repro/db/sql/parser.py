@@ -2,16 +2,27 @@
 
 Grammar (informal)::
 
+    stmt     := select | create | drop | insert | update | delete
     select   := SELECT [DISTINCT] items FROM tables [joins] [WHERE expr]
                 [GROUP BY exprs] [HAVING expr] [ORDER BY orders] [LIMIT n]
     items    := '*' | item (',' item)*
     item     := expr [[AS] ident]
     tables   := table_ref (',' table_ref)*
     joins    := (JOIN | INNER JOIN) table_ref ON expr ...
+    create   := CREATE TABLE [IF NOT EXISTS] ident '(' coldef (',' coldef)*
+                [',' PRIMARY KEY '(' ident (',' ident)* ')'] ')'
+    coldef   := ident typename [PRIMARY KEY]
+    drop     := DROP TABLE [IF EXISTS] ident
+    insert   := INSERT INTO ident ['(' idents ')'] VALUES tuple (',' tuple)*
+    update   := UPDATE ident SET ident '=' expr (',' ident '=' expr)*
+                [WHERE expr]
+    delete   := DELETE FROM ident [WHERE expr]
     expr     := or-precedence climb down to primary
     primary  := literal | column | aggregate | '(' expr ')' | '(' select ')'
 
-Produces :class:`repro.db.sql.ast.SelectStmt`.
+:func:`parse` produces a :class:`repro.db.sql.ast.SelectStmt` (the
+historical entry point); :func:`parse_statement` accepts any statement
+class and :func:`parse_script` a ``;``-separated sequence of them.
 """
 
 from __future__ import annotations
@@ -32,18 +43,41 @@ from repro.db.ra.ast import (
 )
 from repro.db.sql.ast import (
     AggCall,
+    ColumnDef,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
     OrderItem,
     ScalarSubquery,
     SelectItem,
     SelectStmt,
+    Statement,
     TableRef,
+    UpdateStmt,
 )
 from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.db.types import AttrType
 from repro.errors import SqlSyntaxError
 
-__all__ = ["parse"]
+__all__ = ["parse", "parse_statement", "parse_script"]
 
 _AGG_KEYWORDS = ("count", "sum", "avg", "min", "max")
+
+# SQL type names (identifiers, not keywords, so that columns may be
+# called e.g. STRING) mapped onto the engine's attribute types.
+_TYPE_NAMES = {
+    "int": AttrType.INT,
+    "integer": AttrType.INT,
+    "bigint": AttrType.INT,
+    "float": AttrType.FLOAT,
+    "real": AttrType.FLOAT,
+    "double": AttrType.FLOAT,
+    "string": AttrType.STRING,
+    "text": AttrType.STRING,
+    "char": AttrType.STRING,
+    "varchar": AttrType.STRING,
+}
 
 
 def parse(sql: str) -> SelectStmt:
@@ -53,6 +87,29 @@ def parse(sql: str) -> SelectStmt:
     parser.skip_symbol(";")
     parser.expect_eof()
     return stmt
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one statement of any class (SELECT, DDL or DML)."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.statement()
+    parser.skip_symbol(";")
+    parser.expect_eof()
+    return stmt
+
+
+def parse_script(sql: str) -> list[Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: list[Statement] = []
+    parser.skip_symbol(";")
+    while parser.peek().kind is not TokenType.EOF:
+        statements.append(parser.statement())
+        if parser.peek().kind is TokenType.EOF:
+            break
+        parser.expect_symbol(";")
+        parser.skip_symbol(";")
+    return statements
 
 
 class _Parser:
@@ -92,8 +149,7 @@ class _Parser:
         return False
 
     def skip_symbol(self, symbol: str) -> None:
-        # ';' is not in the token set; treat a stray one as EOF garbage.
-        while self.peek().is_symbol(symbol):  # pragma: no cover - lexer rejects ';'
+        while self.peek().is_symbol(symbol):
             self.advance()
 
     def expect_symbol(self, symbol: str) -> None:
@@ -121,6 +177,161 @@ class _Parser:
     # ------------------------------------------------------------------
     # Statements
     # ------------------------------------------------------------------
+    def statement(self) -> Statement:
+        token = self.peek()
+        if token.is_keyword("select"):
+            return self.select_stmt()
+        if token.is_keyword("create"):
+            return self.create_table_stmt()
+        if token.is_keyword("drop"):
+            return self.drop_table_stmt()
+        if token.is_keyword("insert"):
+            return self.insert_stmt()
+        if token.is_keyword("update"):
+            return self.update_stmt()
+        if token.is_keyword("delete"):
+            return self.delete_stmt()
+        raise SqlSyntaxError(
+            f"expected a statement, found {token.value!r}", token.position
+        )
+
+    # -- DDL -------------------------------------------------------------
+    def create_table_stmt(self) -> CreateTableStmt:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        if_not_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("not")
+            self.expect_keyword("exists")
+            if_not_exists = True
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        columns: list[ColumnDef] = []
+        key: list[str] = []
+        while True:
+            if self.peek().is_keyword("primary"):
+                if key:
+                    raise SqlSyntaxError(
+                        "duplicate PRIMARY KEY clause", self.peek().position
+                    )
+                self.advance()
+                self.expect_keyword("key")
+                self.expect_symbol("(")
+                key.append(self.expect_ident())
+                while self.accept_symbol(","):
+                    key.append(self.expect_ident())
+                self.expect_symbol(")")
+            else:
+                columns.append(self.column_def())
+                if self.peek().is_keyword("primary"):
+                    # Inline `col TYPE PRIMARY KEY`.
+                    if key:
+                        raise SqlSyntaxError(
+                            "duplicate PRIMARY KEY clause", self.peek().position
+                        )
+                    self.advance()
+                    self.expect_keyword("key")
+                    key.append(columns[-1].name)
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        if not columns:
+            raise SqlSyntaxError("CREATE TABLE needs at least one column", None)
+        return CreateTableStmt(
+            table=table,
+            columns=tuple(columns),
+            key=tuple(key),
+            if_not_exists=if_not_exists,
+        )
+
+    def column_def(self) -> ColumnDef:
+        name = self.expect_ident()
+        type_token = self.advance()
+        if type_token.kind is not TokenType.IDENT:
+            raise SqlSyntaxError(
+                f"expected a type name, found {type_token.value!r}",
+                type_token.position,
+            )
+        attr_type = _TYPE_NAMES.get(type_token.value.lower())
+        if attr_type is None:
+            raise SqlSyntaxError(
+                f"unknown type {type_token.value!r} (expected one of "
+                f"{sorted(set(_TYPE_NAMES))})",
+                type_token.position,
+            )
+        # Tolerate and ignore a length such as VARCHAR(32).
+        if self.accept_symbol("("):
+            size = self.advance()
+            if size.kind is not TokenType.NUMBER:
+                raise SqlSyntaxError(
+                    f"expected a type length, found {size.value!r}", size.position
+                )
+            self.expect_symbol(")")
+        return ColumnDef(name, attr_type)
+
+    def drop_table_stmt(self) -> DropTableStmt:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        if_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("exists")
+            if_exists = True
+        return DropTableStmt(table=self.expect_ident(), if_exists=if_exists)
+
+    # -- DML -------------------------------------------------------------
+    def insert_stmt(self) -> InsertStmt:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_ident()
+        columns: Optional[tuple[str, ...]] = None
+        if self.accept_symbol("("):
+            names = [self.expect_ident()]
+            while self.accept_symbol(","):
+                names.append(self.expect_ident())
+            self.expect_symbol(")")
+            columns = tuple(names)
+        self.expect_keyword("values")
+        rows = [self.value_tuple()]
+        while self.accept_symbol(","):
+            rows.append(self.value_tuple())
+        for row in rows:
+            if columns is not None and len(row) != len(columns):
+                raise SqlSyntaxError(
+                    f"VALUES tuple has {len(row)} items for {len(columns)} columns",
+                    None,
+                )
+        return InsertStmt(table=table, columns=columns, rows=tuple(rows))
+
+    def value_tuple(self) -> tuple[Expr, ...]:
+        self.expect_symbol("(")
+        values = [self.expr()]
+        while self.accept_symbol(","):
+            values.append(self.expr())
+        self.expect_symbol(")")
+        return tuple(values)
+
+    def update_stmt(self) -> UpdateStmt:
+        self.expect_keyword("update")
+        table = self.expect_ident()
+        self.expect_keyword("set")
+        assignments = [self.assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self.assignment())
+        where = self.expr() if self.accept_keyword("where") else None
+        return UpdateStmt(table=table, assignments=tuple(assignments), where=where)
+
+    def assignment(self) -> tuple[str, Expr]:
+        column = self.expect_ident()
+        self.expect_symbol("=")
+        return column, self.expr()
+
+    def delete_stmt(self) -> DeleteStmt:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_ident()
+        where = self.expr() if self.accept_keyword("where") else None
+        return DeleteStmt(table=table, where=where)
+
     def select_stmt(self) -> SelectStmt:
         self.expect_keyword("select")
         distinct = self.accept_keyword("distinct")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.api.session import connect
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.db.types import AttrType
@@ -24,8 +25,6 @@ from repro.fg.weights import Weights
 from repro.mcmc.chain import MarkovChain
 from repro.mcmc.metropolis import MetropolisHastings
 from repro.core.evaluator import QueryEvaluator
-from repro.core.materialized import MaterializedEvaluator
-from repro.core.naive import NaiveEvaluator
 from repro.ie.coref.mentions import Mention, generate_mentions
 from repro.ie.coref.model import CorefModel, default_coref_weights
 from repro.ie.coref.proposals import MoveMentionProposer, SplitMergeProposer
@@ -63,7 +62,13 @@ def build_mention_database(
 
 
 class CorefPipeline:
-    """Mentions → database → model → split-merge MCMC → pair marginals."""
+    """Mentions → database → model → split-merge MCMC → pair marginals.
+
+    Since the :func:`repro.connect` redesign this is a thin wrapper
+    over :class:`repro.api.session.Session`: the pipeline builds the
+    MENTION world, model and chain, then opens ``self.session`` over
+    them.  All evaluation below routes through the session (and its
+    plan/evaluator caches)."""
 
     def __init__(
         self,
@@ -90,17 +95,19 @@ class CorefPipeline:
             raise EvaluationError(f"unknown proposer kind {proposer_kind!r}")
         self.kernel = MetropolisHastings(self.model.graph, self.proposer, seed=seed + 1)
         self.chain = MarkovChain(self.kernel, steps_per_sample)
+        self.session = connect(self.db).attach_model(self.model, chain=self.chain)
 
     def evaluator(self, kind: str = "materialized") -> QueryEvaluator:
-        if kind == "materialized":
-            return MaterializedEvaluator(self.db, self.chain, [COREF_PAIR_QUERY])
-        if kind == "naive":
-            return NaiveEvaluator(self.db, self.chain, [COREF_PAIR_QUERY])
-        raise EvaluationError(f"unknown evaluator kind {kind!r}")
+        """The session's (cached) evaluator for the pair query."""
+        return self.session.prepare(COREF_PAIR_QUERY, evaluator=kind).evaluator
 
     def coreference_marginals(self, num_samples: int = 50):
-        """``Pr[(i, j) co-refer]`` for all mention pairs ever co-clustered."""
-        return self.evaluator().run(num_samples).marginals
+        """``Pr[(i, j) co-refer]`` for all mention pairs ever co-clustered.
+
+        Repeated calls continue the session's cached evaluator, so
+        marginals accumulate across calls (the anytime property)."""
+        cursor = self.session.execute(COREF_PAIR_QUERY, samples=num_samples)
+        return cursor.marginals()
 
     def map_decode(self, num_steps: int = 20_000) -> None:
         """Anneal toward the MAP clustering (temperature 0.2 walk)."""

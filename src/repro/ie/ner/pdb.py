@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.api.session import connect
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.db.types import AttrType
@@ -26,7 +27,6 @@ from repro.rng import make_rng, spawn
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
 from repro.core.materialized import MaterializedEvaluator
 from repro.core.naive import NaiveEvaluator
-from repro.core.parallel import ParallelEvaluator
 from repro.ie.ner.corpus import CorpusConfig, Token, generate_corpus
 from repro.ie.ner.labels import OUTSIDE
 from repro.ie.ner.model import SkipChainNerModel, fit_generative_weights
@@ -203,11 +203,22 @@ class NerTask:
 
 
 class NerPipeline:
-    """Convenience facade: one task, one instance, simple evaluation."""
+    """Convenience facade: one task, one instance, one session.
+
+    Since the :func:`repro.connect` redesign this is a thin wrapper
+    over :class:`repro.api.session.Session` — the pipeline builds the
+    corpus, model and chain, then opens a session over the instance's
+    world and attaches the model.  ``pipeline.session`` is the full SQL
+    front door (DDL, DML, deterministic and probabilistic queries);
+    the methods below are shorthands kept for the paper's workflows.
+    """
 
     def __init__(self, task: NerTask, chain_seed: int = 1):
         self.task = task
         self.instance = task.make_instance(chain_seed)
+        self.session = connect(self.instance.db).attach_model(
+            self.instance, chain_factory=task.chain_factory()
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -230,10 +241,15 @@ class NerPipeline:
         num_samples: int = 50,
         kind: str = "materialized",
     ):
-        """Tuple marginals for one query: the paper's evaluation problem."""
-        evaluator = self.instance.evaluator([sql], kind=kind)
-        result = evaluator.run(num_samples)
-        return result.marginals
+        """Tuple marginals for one query: the paper's evaluation problem.
+
+        Repeated calls with the same SQL and ``kind`` continue the
+        session's cached evaluator, so marginals accumulate (the
+        anytime property); use ``self.session.execute`` directly for
+        cursor-level control.
+        """
+        cursor = self.session.execute(sql, samples=num_samples, evaluator=kind)
+        return cursor.marginals()
 
     def evaluate_parallel(
         self,
@@ -243,7 +259,13 @@ class NerPipeline:
         base_seed: int = 0,
     ) -> EvaluationResult:
         """Pooled marginals over independent chains (§5.4)."""
-        parallel = ParallelEvaluator(
-            self.task.chain_factory(base_seed), [sql], num_chains
+        self.session.attach_model(
+            chain_factory=self.task.chain_factory(base_seed)
         )
-        return parallel.run(samples_per_chain)
+        cursor = self.session.execute(
+            sql,
+            samples=samples_per_chain,
+            evaluator="parallel",
+            chains=num_chains,
+        )
+        return cursor.result

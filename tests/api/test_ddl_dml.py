@@ -1,0 +1,237 @@
+"""SQL DDL/DML: parsing and execution through the session front door."""
+
+import pytest
+
+from repro.api import connect
+from repro.db.sql.ast import (
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.db.sql.parser import parse_script, parse_statement
+from repro.db.types import AttrType
+from repro.errors import IntegrityError, QueryError, SqlSyntaxError
+
+
+class TestParsing:
+    def test_statement_dispatch(self):
+        cases = {
+            "SELECT A FROM T": SelectStmt,
+            "CREATE TABLE T (A INT)": CreateTableStmt,
+            "DROP TABLE T": DropTableStmt,
+            "INSERT INTO T VALUES (1)": InsertStmt,
+            "UPDATE T SET A = 1": UpdateStmt,
+            "DELETE FROM T": DeleteStmt,
+        }
+        for sql, cls in cases.items():
+            assert isinstance(parse_statement(sql), cls)
+
+    def test_create_table_full(self):
+        stmt = parse_statement(
+            "CREATE TABLE IF NOT EXISTS T "
+            "(A INT, B VARCHAR(32), C DOUBLE, PRIMARY KEY (A, B))"
+        )
+        assert stmt.table == "T"
+        assert stmt.if_not_exists
+        assert [c.attr_type for c in stmt.columns] == [
+            AttrType.INT,
+            AttrType.STRING,
+            AttrType.FLOAT,
+        ]
+        assert stmt.key == ("A", "B")
+
+    def test_create_table_inline_key(self):
+        stmt = parse_statement("CREATE TABLE T (A INT PRIMARY KEY, B TEXT)")
+        assert stmt.key == ("A",)
+
+    def test_create_table_rejects_two_keys(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE T (A INT PRIMARY KEY, PRIMARY KEY (A))")
+
+    def test_create_table_rejects_unknown_type(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE T (A BLOB)")
+
+    def test_insert_arity_checked_against_column_list(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("INSERT INTO T (A, B) VALUES (1)")
+
+    def test_update_multiple_assignments(self):
+        stmt = parse_statement("UPDATE T SET A = A + 1, B = 'x' WHERE A > 0")
+        assert [c for c, _ in stmt.assignments] == ["A", "B"]
+        assert stmt.where is not None
+
+    def test_parse_script_requires_separator(self):
+        assert len(parse_script("SELECT A FROM T; SELECT B FROM T;")) == 2
+        with pytest.raises(SqlSyntaxError):
+            parse_script("DROP TABLE T DROP TABLE U")
+
+    def test_statement_kind_markers(self):
+        assert parse_statement("SELECT A FROM T").kind == "query"
+        assert parse_statement("CREATE TABLE T (A INT)").kind == "ddl"
+        assert parse_statement("DELETE FROM T").kind == "dml"
+
+
+class TestExecution:
+    def make_session(self):
+        session = connect(name="dml-test")
+        session.execute(
+            "CREATE TABLE CITY (NAME TEXT PRIMARY KEY, STATE TEXT, POP INT)"
+        )
+        session.execute(
+            "INSERT INTO CITY VALUES ('Boston', 'MA', 675), "
+            "('Hartford', 'CT', 121), ('Providence', 'RI', 190)"
+        )
+        return session
+
+    def test_create_insert_select(self):
+        session = self.make_session()
+        rows = session.execute("SELECT NAME FROM CITY ORDER BY NAME").fetchall()
+        assert rows == [("Boston",), ("Hartford",), ("Providence",)]
+
+    def test_create_if_not_exists(self):
+        session = self.make_session()
+        with pytest.raises(IntegrityError):
+            session.execute("CREATE TABLE CITY (X INT)")
+        cursor = session.execute("CREATE TABLE IF NOT EXISTS CITY (X INT)")
+        assert cursor.statement_kind == "ddl"
+        # The original schema survives.
+        assert session.execute("SELECT COUNT(*) FROM CITY").fetchone() == (3,)
+
+    def test_insert_with_column_list_reorders(self):
+        session = self.make_session()
+        session.execute(
+            "INSERT INTO CITY (POP, NAME, STATE) VALUES (206, 'Worcester', 'MA')"
+        )
+        row = session.execute(
+            "SELECT STATE, POP FROM CITY WHERE NAME = 'Worcester'"
+        ).fetchone()
+        assert row == ("MA", 206)
+
+    def test_insert_rejects_non_constant_values(self):
+        session = self.make_session()
+        with pytest.raises(QueryError):
+            session.execute("INSERT INTO CITY VALUES (POP, 'x', 1)")
+
+    def test_insert_negative_and_arithmetic_literals(self):
+        session = self.make_session()
+        session.execute("INSERT INTO CITY VALUES ('Nowhere', 'XX', -(2 + 3) * 10)")
+        row = session.execute(
+            "SELECT POP FROM CITY WHERE NAME = 'Nowhere'"
+        ).fetchone()
+        assert row == (-50,)
+
+    def test_update_rowcount_and_effect(self):
+        session = self.make_session()
+        cursor = session.execute("UPDATE CITY SET POP = POP + 10 WHERE STATE = 'MA'")
+        assert cursor.statement_kind == "dml"
+        assert cursor.rowcount == 1
+        assert session.execute(
+            "SELECT POP FROM CITY WHERE NAME = 'Boston'"
+        ).fetchone() == (685,)
+
+    def test_update_primary_key(self):
+        session = self.make_session()
+        cursor = session.execute(
+            "UPDATE CITY SET NAME = 'New Boston' WHERE NAME = 'Boston'"
+        )
+        assert cursor.rowcount == 1
+        names = session.execute("SELECT NAME FROM CITY ORDER BY NAME").fetchall()
+        assert ("New Boston",) in names
+        assert ("Boston",) not in names
+
+    def test_update_to_duplicate_key_keeps_source_row(self):
+        session = self.make_session()
+        with pytest.raises(IntegrityError):
+            session.execute("UPDATE CITY SET NAME = 'Hartford' WHERE NAME = 'Boston'")
+        names = session.execute("SELECT NAME FROM CITY ORDER BY NAME").fetchall()
+        assert ("Boston",) in names
+
+    def test_update_key_conflict_applies_nothing(self):
+        session = connect(name="atomic")
+        session.execute_script(
+            "CREATE TABLE T (ID INT PRIMARY KEY, V TEXT); "
+            "INSERT INTO T VALUES (1, 'a'), (2, 'b')"
+        )
+        with pytest.raises(IntegrityError):
+            session.execute("UPDATE T SET ID = 99")  # both rows target 99
+        assert session.execute("SELECT ID FROM T ORDER BY ID").fetchall() == [
+            (1,),
+            (2,),
+        ]
+
+    def test_update_key_permutation_succeeds(self):
+        session = connect(name="perm")
+        session.execute_script(
+            "CREATE TABLE T (ID INT PRIMARY KEY, V TEXT); "
+            "INSERT INTO T VALUES (1, 'a'), (2, 'b'), (3, 'c')"
+        )
+        assert session.execute("UPDATE T SET ID = ID + 1").rowcount == 3
+        assert session.execute("SELECT ID, V FROM T ORDER BY ID").fetchall() == [
+            (2, "a"),
+            (3, "b"),
+            (4, "c"),
+        ]
+
+    def test_update_type_error_applies_nothing(self):
+        session = self.make_session()
+        with pytest.raises(Exception):
+            session.execute("UPDATE CITY SET POP = NAME")
+        rows = session.execute("SELECT COUNT(*) FROM CITY").fetchone()
+        assert rows == (3,)
+        assert session.execute(
+            "SELECT POP FROM CITY WHERE NAME = 'Boston'"
+        ).fetchone() == (675,)
+
+    def test_insert_batch_validates_before_applying(self):
+        session = self.make_session()
+        with pytest.raises(Exception):
+            session.execute(
+                "INSERT INTO CITY VALUES ('Salem', 'MA', 44), ('Lynn', 'MA', 'oops')"
+            )
+        assert session.execute("SELECT COUNT(*) FROM CITY").fetchone() == (3,)
+
+    def test_delete_where_and_all(self):
+        session = self.make_session()
+        assert session.execute("DELETE FROM CITY WHERE POP < 150").rowcount == 1
+        assert session.execute("DELETE FROM CITY").rowcount == 2
+        assert session.execute("SELECT COUNT(*) FROM CITY").fetchone() == (0,)
+
+    def test_drop_table(self):
+        session = self.make_session()
+        session.execute("DROP TABLE CITY")
+        assert "CITY" not in session.tables()
+        with pytest.raises(IntegrityError):
+            session.execute("DROP TABLE CITY")
+        session.execute("DROP TABLE IF EXISTS CITY")  # no error
+
+    def test_unkeyed_table_dml(self):
+        session = connect(name="bag")
+        session.execute("CREATE TABLE LOG (MSG TEXT, N INT)")
+        session.execute("INSERT INTO LOG VALUES ('a', 1), ('a', 1), ('b', 2)")
+        assert session.execute("UPDATE LOG SET N = N * 10 WHERE MSG = 'a'").rowcount == 2
+        rows = session.execute("SELECT MSG, N FROM LOG ORDER BY MSG, N").fetchall()
+        assert rows == [("a", 10), ("a", 10), ("b", 2)]
+        assert session.execute("DELETE FROM LOG WHERE MSG = 'a'").rowcount == 2
+
+    def test_dml_feeds_attached_recorders(self):
+        session = self.make_session()
+        recorder = session.database.attach_recorder()
+        session.execute("INSERT INTO CITY VALUES ('Salem', 'MA', 44)")
+        session.execute("DELETE FROM CITY WHERE NAME = 'Hartford'")
+        delta = recorder.pop()
+        assert delta.for_table("CITY").count(("Salem", "MA", 44)) == 1
+        assert delta.for_table("CITY").count(("Hartford", "CT", 121)) == -1
+
+    def test_execute_script_returns_last_cursor(self):
+        session = connect(name="script")
+        cursor = session.execute_script(
+            "CREATE TABLE T (A INT PRIMARY KEY); "
+            "INSERT INTO T VALUES (1), (2); "
+            "SELECT A FROM T ORDER BY A"
+        )
+        assert cursor.statement_kind == "query"
+        assert cursor.fetchall() == [(1,), (2,)]

@@ -1,0 +1,110 @@
+"""Snapshot/restore round-trips and direct delta application."""
+
+from repro.db.database import Database
+from repro.db.delta import Delta
+from repro.db.schema import Schema
+from repro.db.types import AttrType
+
+KEYED = Schema.build(
+    "K", [("ID", AttrType.INT), ("VAL", AttrType.STRING)], key=["ID"]
+)
+UNKEYED = Schema.build("B", [("MSG", AttrType.STRING), ("N", AttrType.INT)])
+
+
+def make_db():
+    db = Database("snap")
+    db.create_table(KEYED)
+    db.create_table(UNKEYED)
+    db.insert_many("K", [(1, "a"), (2, "b"), (3, "c")])
+    db.insert_many("B", [("x", 1), ("x", 1), ("y", 2)])
+    return db
+
+
+def contents(db):
+    return {
+        name: sorted(db.table(name).rows()) for name in db.table_names()
+    }
+
+
+class TestSnapshotRestore:
+    def test_restore_round_trips_multi_table_snapshot(self):
+        db = make_db()
+        before = contents(db)
+        snap = db.snapshot()
+
+        db.update("K", (1,), {"VAL": "mutated"})
+        db.delete("K", (3,))
+        db.insert("K", (4, "new"))
+        db.table("B").delete_row(("y", 2))
+        db.insert("B", ("z", 9))
+
+        db.restore(snap)
+        assert contents(db) == before
+
+    def test_restore_recreates_missing_tables(self):
+        db = make_db()
+        snap = db.snapshot()
+        db.drop_table("K")
+        db.restore(snap)
+        assert sorted(db.table_names()) == ["B", "K"]
+        assert sorted(db.table("K").rows()) == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_restore_empties_tables_absent_from_snapshot(self):
+        db = make_db()
+        snap = db.snapshot()
+        db.create_table(Schema.build("EXTRA", [("A", AttrType.INT)]))
+        db.insert("EXTRA", (7,))
+        db.restore(snap)
+        assert len(db.table("EXTRA")) == 0
+
+    def test_snapshot_restore_snapshot_equality(self):
+        db = make_db()
+        first = db.snapshot()
+        db.update("K", (2,), {"VAL": "zz"})
+        db.restore(first)
+        second = db.snapshot()
+        assert set(first.table_names()) == set(second.table_names())
+        for name in first.table_names():
+            assert sorted(first.rows(name)) == sorted(second.rows(name))
+            assert first.schema(name) == second.schema(name)
+
+
+class TestApplyDelta:
+    def test_apply_delta_keyed(self):
+        db = make_db()
+        delta = Delta()
+        delta.record_delete("K", (1, "a"))
+        delta.record_insert("K", (4, "d"))
+        delta.record_update("K", (2, "b"), (2, "B"))
+        db.apply_delta(delta)
+        assert sorted(db.table("K").rows()) == [(2, "B"), (3, "c"), (4, "d")]
+
+    def test_apply_delta_unkeyed_respects_multiplicity(self):
+        db = make_db()
+        delta = Delta()
+        delta.record_delete("B", ("x", 1))  # one of two copies
+        delta.record_insert("B", ("y", 2))  # a second copy
+        db.apply_delta(delta)
+        assert sorted(db.table("B").rows()) == [("x", 1), ("y", 2), ("y", 2)]
+
+    def test_apply_recorded_delta_replays_mutations(self):
+        db = make_db()
+        recorder = db.attach_recorder()
+        db.insert("K", (5, "e"))
+        db.update("K", (1,), {"VAL": "a2"})
+        db.delete("K", (2,))
+        delta = recorder.pop()
+
+        clone = Database.from_snapshot(make_db().snapshot(), "clone")
+        clone.apply_delta(delta)
+        assert contents(clone) == contents(db)
+
+    def test_apply_inverse_delta_undoes(self):
+        db = make_db()
+        before = contents(db)
+        recorder = db.attach_recorder()
+        db.insert("B", ("w", 3))
+        db.delete("K", (3,))
+        delta = recorder.pop()
+        db.apply_delta(delta.inverted())
+        assert contents(db) == before
