@@ -47,7 +47,7 @@ def test_thinning_tradeoff(benchmark):
                 {
                     "k": k,
                     "samples": TOTAL_STEPS // k,
-                    "elapsed": result.elapsed,
+                    "elapsed": result.wall_elapsed,
                     "loss": squared_error(
                         result.marginals.probabilities(), truth
                     ),

@@ -135,8 +135,26 @@ class AnytimeCursor(Cursor):
     def num_samples(self) -> int:
         return self.marginals().num_samples
 
+    @property
+    def wall_elapsed(self) -> float:
+        """Caller-observed seconds of the most recent run/refine."""
+        return self._result.wall_elapsed
+
+    @property
+    def cpu_elapsed(self) -> float:
+        """Summed per-chain compute seconds of the most recent
+        run/refine (equals :attr:`wall_elapsed` for a single in-process
+        chain; larger under the multiprocess backend)."""
+        return self._result.cpu_elapsed
+
     def refine(self, more_samples: int, burn_in: int = 0) -> "AnytimeCursor":
         """Draw ``more_samples`` additional thinned samples and re-rank.
+
+        The samples come from the same runner that produced the cursor:
+        a single cached chain, or — for ``chains=K`` executions — the
+        same K chains, fanned out across the session's chain backend
+        (worker processes are kept alive between calls under
+        ``backend="process"``).
 
         Returns ``self`` so calls chain: ``cursor.refine(100).fetchall()``.
         """

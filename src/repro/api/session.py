@@ -35,16 +35,21 @@ Typical usage::
     for *row, probability in cursor:
         print(row, probability)
     cursor.refine(400)                       # anytime: sharpen in place
+
+    # Parallel chains, one worker process per chain (§5.4):
+    session.attach_model(chain_factory=task.chain_factory())
+    cursor = session.execute(query, samples=100, chains=4, backend="process")
+    cursor.refine(400)                       # refinement fans out too
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from repro.api.cursor import AnytimeCursor, Cursor
 from repro.api.plan_cache import CacheInfo, PlanCache, normalize_sql
+from repro.core.backends import make_backend, validate_backend_name
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
-from repro.core.marginals import MarginalEstimator
 from repro.core.materialized import MaterializedEvaluator
 from repro.core.naive import NaiveEvaluator
 from repro.db.database import Database
@@ -94,52 +99,56 @@ class _ChainRunner:
             samples, include_initial_sample=include_initial, burn_in=burn_in
         )
 
+    def dispose(self) -> None:
+        detach = getattr(self.evaluator, "detach", None)
+        if detach is not None:
+            detach()
+
 
 class _ParallelRunner:
     """Drives K independent chains (each its own world copy via the
-    chain factory) and pools their marginal estimates (paper §5.4).
+    chain factory) through a persistent execution backend and pools
+    their marginal estimates (paper §5.4).
 
     Deliberately not :class:`repro.core.parallel.ParallelEvaluator`:
     that class rebuilds its chains on every ``run()`` (restart
-    semantics), while an anytime cursor needs the evaluators — and
-    their materialized view state — to persist across ``refine()``
-    calls so later runs continue the same chains."""
+    semantics), while an anytime cursor needs the chain state — the
+    materialized views in-process, or the worker processes of the
+    ``process`` backend — to persist across ``refine()`` calls so later
+    runs continue the same chains."""
 
-    def __init__(self, factory: ChainFactory, plan: PlanNode, chains: int):
-        self.evaluators: List[QueryEvaluator] = []
-        for index in range(chains):
-            db, chain = factory(index)
-            self.evaluators.append(MaterializedEvaluator(db, chain, [plan]))
+    def __init__(
+        self,
+        factory: ChainFactory,
+        sql: str,
+        plan: PlanNode,
+        chains: int,
+        backend: str,
+        evaluator_cls: type = MaterializedEvaluator,
+    ):
+        self.backend = make_backend(backend)
+        # In-process chains reuse the compiled plan; worker processes
+        # receive the SQL text and compile against their own world copy
+        # (plans are not part of the pickled snapshot contract).
+        query = plan if backend == "sequential" else sql
+        self.backend.start(factory, chains, [query], evaluator_cls)
         self._first = True
 
     def run(self, samples: int, burn_in: int = 0) -> EvaluationResult:
         include_initial = self._first
         self._first = False
-        elapsed = 0.0
-        for evaluator in self.evaluators:
-            result = evaluator.run(
-                samples, include_initial_sample=include_initial, burn_in=burn_in
-            )
-            elapsed += result.elapsed
-        merged = [MarginalEstimator() for _ in self.evaluators[0].estimators]
-        for evaluator in self.evaluators:
-            for target, source in zip(merged, evaluator.estimators):
-                target.merge(source)
-        return EvaluationResult(merged, elapsed)
+        return self.backend.run(
+            samples, burn_in=burn_in, include_initial=include_initial
+        )
+
+    def dispose(self) -> None:
+        self.backend.close()
 
 
 def _dispose_runner(runner: Any) -> None:
-    """Release a runner's resources (materialized evaluators hold a
-    delta recorder on their database until detached)."""
-    evaluators = (
-        runner.evaluators
-        if isinstance(runner, _ParallelRunner)
-        else [runner.evaluator]
-    )
-    for evaluator in evaluators:
-        detach = getattr(evaluator, "detach", None)
-        if detach is not None:
-            detach()
+    """Release a runner's resources (delta recorders in-process, worker
+    processes for the multiprocess backend)."""
+    runner.dispose()
 
 
 class Session:
@@ -286,6 +295,7 @@ class Session:
         evaluator: str = "materialized",
         chains: int = 1,
         burn_in: int = 0,
+        backend: str = "sequential",
     ) -> Cursor:
         """Execute one SQL statement and return its cursor.
 
@@ -294,11 +304,17 @@ class Session:
         probabilistic: ``N`` thinned MCMC samples estimate
         ``Pr[t ∈ Q(W)]`` per answer tuple, via the ``evaluator``
         strategy (``"materialized"`` — Algorithm 1, ``"naive"`` —
-        Algorithm 3, or ``"parallel"`` — ``chains`` pooled independent
-        chains).  Re-executing the same SQL reuses the cached plan and,
-        for probabilistic queries, continues the cached evaluator, so
-        marginals accumulate across calls exactly like
-        :meth:`AnytimeCursor.refine`.
+        Algorithm 3).  ``chains=K`` pools ``K`` independent chains
+        (paper §5.4; requires a ``chain_factory`` from
+        :meth:`attach_model`), and ``backend`` selects where those
+        chains execute: ``"sequential"`` in-process, or ``"process"``
+        with one worker process per chain for real wall-clock speedup
+        (identical pooled marginals either way for fixed seeds —
+        see :mod:`repro.core.backends`).  Re-executing the same SQL
+        reuses the cached plan and, for probabilistic queries,
+        continues the cached runner — in-process chains and worker
+        processes alike — so marginals accumulate across calls exactly
+        like :meth:`AnytimeCursor.refine`.
         """
         self._check_open()
         key, kind, payload = self._route(sql)
@@ -321,8 +337,19 @@ class Session:
                 rows=evaluate_rows(plan, self.database),
                 columns=columns,
             )
-        runner = self._prepare_routed(key, plan, evaluator, chains)
-        result = runner.run(samples, burn_in=burn_in)
+        runner = self._prepare_routed(key, sql, plan, evaluator, chains, backend)
+        try:
+            result = runner.run(samples, burn_in=burn_in)
+        except Exception:
+            # A runner whose backend died (worker crash/timeout closes
+            # it) is unusable; evict it so the next execute() rebuilds
+            # fresh chains instead of hitting "backend is closed".
+            backend_obj = getattr(runner, "backend", None)
+            if backend_obj is not None and backend_obj.closed:
+                self._runners = {
+                    k: r for k, r in self._runners.items() if r is not runner
+                }
+            raise
         columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
         return AnytimeCursor(runner=runner, result=result, columns=columns)
 
@@ -348,7 +375,14 @@ class Session:
                 cursor = Cursor(statement_kind=stmt.kind, rowcount=rowcount)
         return cursor
 
-    def prepare(self, sql: str, *, evaluator: str = "materialized", chains: int = 1):
+    def prepare(
+        self,
+        sql: str,
+        *,
+        evaluator: str = "materialized",
+        chains: int = 1,
+        backend: str = "sequential",
+    ):
         """The (cached) probabilistic runner for ``sql``.
 
         Advanced entry point used by the pipeline facades; most callers
@@ -358,10 +392,28 @@ class Session:
         key, kind, plan = self._route(sql)
         if kind != "query":
             raise QueryError(f"only SELECT can be evaluated probabilistically ({kind})")
-        return self._prepare_routed(key, plan, evaluator, chains)
+        return self._prepare_routed(key, sql, plan, evaluator, chains, backend)
 
-    def _prepare_routed(self, key: str, plan: PlanNode, evaluator: str, chains: int):
-        if evaluator == "parallel":
+    def _prepare_routed(
+        self,
+        key: str,
+        sql: str,
+        plan: PlanNode,
+        evaluator: str,
+        chains: int,
+        backend: str = "sequential",
+    ):
+        validate_backend_name(backend)
+        evaluator_cls = _EVALUATOR_CLASSES.get(evaluator, MaterializedEvaluator)
+        if evaluator not in _EVALUATOR_CLASSES and evaluator != "parallel":
+            raise EvaluationError(
+                f"unknown evaluator kind {evaluator!r} "
+                f"(expected one of {sorted(_EVALUATOR_CLASSES)} or 'parallel')"
+            )
+        # Multi-chain execution is requested explicitly (evaluator
+        # "parallel"), by asking for more than one chain, or by naming
+        # a non-default backend.
+        if evaluator == "parallel" or chains > 1 or backend != "sequential":
             if self._chain_factory is None:
                 raise EvaluationError(
                     "parallel evaluation needs a chain_factory; pass one to "
@@ -369,18 +421,14 @@ class Session:
                 )
             if chains < 1:
                 raise EvaluationError("need at least one chain")
-            runner_key = (key, "parallel", chains)
+            runner_key = (key, "parallel", chains, backend, evaluator_cls.__name__)
             runner = self._runners.get(runner_key)
             if runner is None:
-                runner = _ParallelRunner(self._chain_factory, plan, chains)
+                runner = _ParallelRunner(
+                    self._chain_factory, sql, plan, chains, backend, evaluator_cls
+                )
                 self._runners[runner_key] = runner
             return runner
-        evaluator_cls = _EVALUATOR_CLASSES.get(evaluator)
-        if evaluator_cls is None:
-            raise EvaluationError(
-                f"unknown evaluator kind {evaluator!r} "
-                f"(expected one of {sorted(_EVALUATOR_CLASSES)} or 'parallel')"
-            )
         if self._chain is None:
             raise EvaluationError(
                 "probabilistic execution needs an attached model; call "

@@ -13,6 +13,13 @@ membership (Eq. 5):
 """
 
 from repro.core.anytime import LossTrace
+from repro.core.backends import (
+    BACKENDS,
+    ChainBackend,
+    ProcessPoolBackend,
+    SequentialBackend,
+    make_backend,
+)
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
 from repro.core.ground_truth import estimate_ground_truth
 from repro.core.marginals import MarginalEstimator
@@ -27,8 +34,13 @@ from repro.core.naive import NaiveEvaluator
 from repro.core.parallel import ChainFactory, ParallelEvaluator
 
 __all__ = [
+    "BACKENDS",
+    "ChainBackend",
     "ChainFactory",
     "EvaluationResult",
+    "ProcessPoolBackend",
+    "SequentialBackend",
+    "make_backend",
     "LossTrace",
     "MarginalEstimator",
     "MaterializedEvaluator",

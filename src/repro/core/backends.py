@@ -1,0 +1,460 @@
+"""Chain-execution backends: sequential (in-process) and multiprocess.
+
+The paper's §5.4 parallelization copies the initial world and runs up
+to eight independent MCMC chains.  Pooling their estimators yields the
+*statistical* benefit regardless of how the chains are scheduled; this
+module adds the *wall-clock* benefit by running each chain in its own
+OS process.
+
+Two interchangeable backends drive a set of chains built by a
+:data:`~repro.core.parallel.ChainFactory`:
+
+* :class:`SequentialBackend` — chains run one after another in the
+  calling process.  Deterministic, dependency-free, and the reference
+  semantics: every other backend must produce bit-identical pooled
+  marginals for the same factory and seeds.
+* :class:`ProcessPoolBackend` — one worker process per chain.  Each
+  worker receives a **pickled** ``(database, chain, queries)`` payload
+  (the paper's "identical copies of the probabilistic database"), builds
+  its own query evaluator, and keeps all chain state alive between
+  ``run()`` calls, so anytime refinement continues the same chains.
+
+Determinism: a chain's sample stream is a pure function of its pickled
+RNG state, so ``sequential`` and ``process`` backends produce identical
+pooled marginals for identical factories and seeds — the process
+boundary only changes *where* the arithmetic happens.  Worker payloads
+are explicitly pickled up front even on fork platforms, so a factory
+whose products cannot cross a process boundary fails fast with a clear
+error rather than behaving differently per platform.
+
+Timing: :class:`EvaluationResult` reports the caller-observed
+``wall_elapsed`` and the summed per-chain ``cpu_elapsed`` separately;
+speedup is their ratio.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from typing import Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.db.database import Database
+from repro.errors import EvaluationError
+from repro.mcmc.chain import MarkovChain
+from repro.core.evaluator import EvaluationResult, QueryEvaluator
+from repro.core.marginals import MarginalEstimator
+from repro.core.materialized import MaterializedEvaluator
+
+__all__ = [
+    "BACKENDS",
+    "ChainBackend",
+    "ProcessPoolBackend",
+    "SequentialBackend",
+    "make_backend",
+    "validate_backend_name",
+]
+
+
+def default_worker_timeout() -> float | None:
+    """Per-reply worker deadline in seconds, from ``REPRO_WORKER_TIMEOUT``
+    (default 600; 0 or negative disables the deadline).  An env knob —
+    like ``REPRO_SCALE`` for benchmark sizes — so long runs can raise
+    the limit at any entry point without API changes."""
+    raw = os.environ.get("REPRO_WORKER_TIMEOUT", "600")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EvaluationError(
+            f"REPRO_WORKER_TIMEOUT must be a number of seconds "
+            f"(<=0 disables), got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+# Builds one chain's world and sampler: ``factory(chain_index) ->
+# (database_copy, chain)``.  (Re-exported by repro.core.parallel.)
+ChainFactory = Callable[[int], Tuple[Database, MarkovChain]]
+
+
+def _pool(per_chain: Sequence[List[MarginalEstimator]]) -> List[MarginalEstimator]:
+    """Merge per-chain estimator lists (the paper's cross-chain
+    averaging: counts and sample totals add)."""
+    merged = [MarginalEstimator() for _ in per_chain[0]]
+    for estimators in per_chain:
+        for target, source in zip(merged, estimators):
+            target.merge(source)
+    return merged
+
+
+class ChainBackend:
+    """Common contract of chain-execution backends.
+
+    A backend is *stateful*: :meth:`start` builds ``num_chains`` chains
+    from a factory, :meth:`run` advances **all** of them and returns the
+    pooled :class:`EvaluationResult`, and repeated ``run()`` calls
+    continue the same chains (anytime refinement).  :meth:`close`
+    releases chain resources; afterwards the backend is unusable.
+    """
+
+    name = "abstract"
+
+    def start(
+        self,
+        factory: ChainFactory,
+        num_chains: int,
+        queries: Sequence,
+        evaluator_cls: Type[QueryEvaluator] = MaterializedEvaluator,
+    ) -> None:
+        raise NotImplementedError
+
+    def run(
+        self,
+        samples_per_chain: int,
+        burn_in: int = 0,
+        include_initial: bool = True,
+    ) -> EvaluationResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def __init__(self) -> None:
+        self._started = False
+        self._closed = False
+        # Per-chain cumulative results from the most recent run().
+        self.chain_results: List[EvaluationResult] = []
+
+    @property
+    def closed(self) -> bool:
+        """Whether the backend has released its chains (a closed
+        backend cannot run again; callers should rebuild)."""
+        return self._closed
+
+    def _check_started(self) -> None:
+        if self._closed:
+            raise EvaluationError(f"{self.name} backend is closed")
+        if not self._started:
+            raise EvaluationError(f"{self.name} backend was not started")
+
+    def __enter__(self) -> "ChainBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SequentialBackend(ChainBackend):
+    """Chains run one after another in the calling process.
+
+    The deterministic fallback and reference implementation; also the
+    right choice for a single chain or when worker start-up cost would
+    dominate a short run.
+    """
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._evaluators: List[QueryEvaluator] = []
+        self._cpu_totals: List[float] = []
+
+    def start(
+        self,
+        factory: ChainFactory,
+        num_chains: int,
+        queries: Sequence,
+        evaluator_cls: Type[QueryEvaluator] = MaterializedEvaluator,
+    ) -> None:
+        if num_chains < 1:
+            raise EvaluationError("need at least one chain")
+        for index in range(num_chains):
+            db, chain = factory(index)
+            self._evaluators.append(evaluator_cls(db, chain, queries))
+        self._cpu_totals = [0.0] * num_chains
+        self._started = True
+
+    def run(
+        self,
+        samples_per_chain: int,
+        burn_in: int = 0,
+        include_initial: bool = True,
+    ) -> EvaluationResult:
+        self._check_started()
+        started = time.perf_counter()
+        cpu = 0.0
+        per_chain: List[List[MarginalEstimator]] = []
+        self.chain_results = []
+        for index, evaluator in enumerate(self._evaluators):
+            # Per-chain CPU seconds (burn-in included), not wall time,
+            # so the accounting matches what process workers report
+            # even when chains contend for cores.
+            chain_started = time.process_time()
+            evaluator.run(
+                samples_per_chain,
+                include_initial_sample=include_initial,
+                burn_in=burn_in,
+            )
+            chain_cpu = time.process_time() - chain_started
+            cpu += chain_cpu
+            self._cpu_totals[index] += chain_cpu
+            # Snapshot the estimators (as process workers do) so results
+            # returned now don't mutate when the chains run again, and
+            # report cumulative per-chain CPU matching the process
+            # backend's accounting.
+            snapshot = [e.copy() for e in evaluator.estimators]
+            per_chain.append(snapshot)
+            self.chain_results.append(
+                EvaluationResult(
+                    snapshot, self._cpu_totals[index], self._cpu_totals[index]
+                )
+            )
+        wall = time.perf_counter() - started
+        return EvaluationResult(_pool(per_chain), wall, cpu)
+
+    def close(self) -> None:
+        for evaluator in self._evaluators:
+            detach = getattr(evaluator, "detach", None)
+            if detach is not None:
+                detach()
+        self._evaluators = []
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
+# Multiprocess backend
+# ----------------------------------------------------------------------
+def _chain_worker_main(conn, payload: bytes) -> None:
+    """Worker entry point: unpickle one chain's world, then serve
+    ``("run", samples, burn_in, include_initial)`` commands until
+    ``("stop",)`` or the pipe closes.
+
+    Every reply carries *cumulative* estimator state plus the CPU
+    seconds (``time.process_time``) the worker spent on that run — the
+    per-chain contribution to ``EvaluationResult.cpu_elapsed``.
+    """
+    try:
+        db, chain, queries, evaluator_cls = pickle.loads(payload)
+        evaluator = evaluator_cls(db, chain, queries)
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message[0] == "stop":
+                return
+            _, samples, burn_in, include_initial = message
+            started = time.process_time()  # this worker's CPU seconds
+            evaluator.run(
+                samples,
+                include_initial_sample=include_initial,
+                burn_in=burn_in,
+            )
+            cpu = time.process_time() - started
+            conn.send(
+                ("ok", [e.copy() for e in evaluator.estimators], cpu)
+            )
+    except Exception:  # pragma: no cover - exercised via error tests
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side view of one chain worker."""
+
+    def __init__(self, process, conn, index: int):
+        self.process = process
+        self.conn = conn
+        self.index = index
+        self.cpu_total = 0.0
+
+
+class ProcessPoolBackend(ChainBackend):
+    """One OS process per chain, alive for the backend's lifetime.
+
+    ``start()`` builds every chain in the parent via the factory,
+    pickles each ``(database, chain, queries)`` snapshot, and ships it
+    to a dedicated worker.  ``run()`` broadcasts a run command to all
+    workers and gathers their cumulative estimators, so chains execute
+    concurrently and anytime refinement (`run()` again) continues the
+    same chain state inside the same workers.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds to wait for any single worker reply before declaring
+        the run failed (guards CI against hung workers).  ``None``
+        (default) reads the ``REPRO_WORKER_TIMEOUT`` environment
+        variable (600s); zero or negative disables the deadline.
+    """
+
+    name = "process"
+
+    def __init__(self, timeout: float | None = None):
+        super().__init__()
+        self.timeout = default_worker_timeout() if timeout is None else timeout
+        if self.timeout is not None and self.timeout <= 0:
+            self.timeout = None
+        self._workers: List[_WorkerHandle] = []
+        self._context = multiprocessing.get_context()
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        factory: ChainFactory,
+        num_chains: int,
+        queries: Sequence,
+        evaluator_cls: Type[QueryEvaluator] = MaterializedEvaluator,
+    ) -> None:
+        if num_chains < 1:
+            raise EvaluationError("need at least one chain")
+        try:
+            for index in range(num_chains):
+                db, chain = factory(index)
+                try:
+                    payload = pickle.dumps((db, chain, queries, evaluator_cls))
+                except Exception as exc:
+                    raise EvaluationError(
+                        "process backend requires picklable chain snapshots; "
+                        f"chain {index} failed to pickle: {exc!r} "
+                        "(closures in templates/proposers are the usual cause; "
+                        "use bound methods or module-level functions)"
+                    ) from exc
+                parent_conn, child_conn = self._context.Pipe(duplex=True)
+                process = self._context.Process(
+                    target=_chain_worker_main,
+                    args=(child_conn, payload),
+                    daemon=True,
+                    name=f"repro-chain-{index}",
+                )
+                process.start()
+                child_conn.close()  # the worker owns its end now
+                self._workers.append(_WorkerHandle(process, parent_conn, index))
+        except BaseException:
+            self.close()
+            raise
+        self._started = True
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live chain workers (for tests/monitoring)."""
+        return [w.process.pid for w in self._workers]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        samples_per_chain: int,
+        burn_in: int = 0,
+        include_initial: bool = True,
+    ) -> EvaluationResult:
+        self._check_started()
+        started = time.perf_counter()
+        command = ("run", samples_per_chain, burn_in, include_initial)
+        for worker in self._workers:
+            try:
+                worker.conn.send(command)
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise EvaluationError(
+                    f"chain worker {worker.index} is gone "
+                    f"(pipe closed: {exc!r})"
+                ) from exc
+        per_chain: List[List[MarginalEstimator]] = []
+        cpu = 0.0
+        self.chain_results = []
+        for worker in self._workers:
+            reply = self._receive(worker)
+            if reply[0] == "error":
+                self.close()
+                raise EvaluationError(
+                    f"chain worker {worker.index} failed:\n{reply[1]}"
+                )
+            _, estimators, worker_cpu = reply
+            worker.cpu_total += worker_cpu
+            cpu += worker_cpu
+            per_chain.append(estimators)
+            self.chain_results.append(
+                EvaluationResult(estimators, worker.cpu_total, worker.cpu_total)
+            )
+        wall = time.perf_counter() - started
+        return EvaluationResult(_pool(per_chain), wall, cpu)
+
+    def _receive(self, worker: _WorkerHandle):
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self.close()
+                raise EvaluationError(
+                    f"chain worker {worker.index} timed out after "
+                    f"{self.timeout:.0f}s (raise REPRO_WORKER_TIMEOUT "
+                    "for long runs)"
+                )
+            if worker.conn.poll(0.2):
+                try:
+                    return worker.conn.recv()
+                except EOFError:
+                    self.close()
+                    raise EvaluationError(
+                        f"chain worker {worker.index} exited unexpectedly"
+                    ) from None
+            if not worker.process.is_alive():
+                # Drain any reply sent just before death, else report.
+                if worker.conn.poll(0):
+                    try:
+                        return worker.conn.recv()
+                    except EOFError:
+                        pass
+                self.close()
+                raise EvaluationError(
+                    f"chain worker {worker.index} died "
+                    f"(exit code {worker.process.exitcode})"
+                )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - safety net
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        self._workers = []
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
+BACKENDS = {
+    SequentialBackend.name: SequentialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def validate_backend_name(name: str) -> str:
+    """Return ``name`` if it names a known backend, else raise."""
+    if name not in BACKENDS:
+        raise EvaluationError(
+            f"unknown backend {name!r} (expected one of {sorted(BACKENDS)})"
+        )
+    return name
+
+
+def make_backend(name: str, **kwargs) -> ChainBackend:
+    """Instantiate a backend by name (``"sequential"`` or ``"process"``)."""
+    return BACKENDS[validate_backend_name(name)](**kwargs)

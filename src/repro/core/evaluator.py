@@ -34,11 +34,37 @@ SampleHook = Callable[[int, float, List[MarginalEstimator]], None]
 
 
 class EvaluationResult:
-    """Marginal estimates for each evaluated query."""
+    """Marginal estimates for each evaluated query.
 
-    def __init__(self, estimators: List[MarginalEstimator], elapsed: float):
+    Two separate clocks are reported:
+
+    * ``wall_elapsed`` — real time between the start and the end of the
+      evaluation, as observed by the caller;
+    * ``cpu_elapsed`` — total compute time: the *sum* of every chain's
+      own measured run time (the parallel backends measure per-chain
+      CPU seconds, so waiting for a contended core does not count).
+
+    For a single chain the two coincide.  For parallel evaluation they
+    diverge: the sequential backend has ``wall ≈ cpu`` (chains run one
+    after another), while the process backend aims for
+    ``wall ≈ cpu / num_chains``.  The legacy :attr:`elapsed` attribute
+    aliases ``wall_elapsed``.
+    """
+
+    def __init__(
+        self,
+        estimators: List[MarginalEstimator],
+        wall_elapsed: float,
+        cpu_elapsed: float | None = None,
+    ):
         self.estimators = estimators
-        self.elapsed = elapsed
+        self.wall_elapsed = wall_elapsed
+        self.cpu_elapsed = wall_elapsed if cpu_elapsed is None else cpu_elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Backward-compatible alias for :attr:`wall_elapsed`."""
+        return self.wall_elapsed
 
     def __getitem__(self, index: int) -> MarginalEstimator:
         return self.estimators[index]

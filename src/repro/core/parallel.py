@@ -5,34 +5,44 @@ evaluators, and averages their marginal estimates — observing
 super-linear error reduction because cross-chain samples are far more
 independent than within-chain samples.
 
-Fig. 5 measures *statistical* efficiency at a fixed per-chain sample
-budget, which is independent of wall-clock concurrency; chains here run
-sequentially with independent seeds (deterministic and portable), and
-the estimator pooling is identical to the paper's averaging.  See
-DESIGN.md (substitutions) for the discussion.
+:class:`ParallelEvaluator` owns the estimator pooling; *where* the
+chains execute is delegated to a :mod:`repro.core.backends` backend:
+
+* ``backend="sequential"`` (default) — chains run one after another in
+  this process.  Deterministic, portable, zero start-up cost; measures
+  the paper's *statistical* efficiency at a fixed sample budget.
+* ``backend="process"`` — one OS process per chain, fed a pickled
+  snapshot of its world; measures real wall-clock speedup on multicore
+  hardware.
+
+Determinism guarantee: chain seeds come from the factory, and a chain's
+sample stream is a pure function of its (pickled) RNG state, so both
+backends produce **identical pooled marginals** for identical factories
+and seeds — the backends differ only in scheduling.  The returned
+:class:`~repro.core.evaluator.EvaluationResult` reports wall-clock time
+(``wall_elapsed``) and summed per-chain compute time (``cpu_elapsed``)
+separately; their ratio is the realized speedup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, Type
+from typing import List, Sequence, Type
 
-from repro.db.database import Database
 from repro.errors import EvaluationError
-from repro.mcmc.chain import MarkovChain
+from repro.core.backends import ChainFactory, make_backend, validate_backend_name
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
-from repro.core.marginals import MarginalEstimator
 from repro.core.materialized import MaterializedEvaluator
 
 __all__ = ["ChainFactory", "ParallelEvaluator"]
 
-# Builds one chain's world and sampler: ``factory(chain_index) ->
-# (database_copy, chain)``.  Implementations must give every chain its
-# own database copy and an independently seeded RNG.
-ChainFactory = Callable[[int], Tuple[Database, MarkovChain]]
-
 
 class ParallelEvaluator:
-    """Averages marginals over independent MCMC chains."""
+    """Averages marginals over independent MCMC chains.
+
+    Each :meth:`run` call rebuilds the chains from the factory (restart
+    semantics — use the session layer for anytime continuation), drives
+    them through the selected backend, and pools the counts.
+    """
 
     def __init__(
         self,
@@ -40,28 +50,29 @@ class ParallelEvaluator:
         queries: Sequence[str],
         num_chains: int,
         evaluator_cls: Type[QueryEvaluator] = MaterializedEvaluator,
+        backend: str = "sequential",
     ):
         if num_chains < 1:
             raise EvaluationError("need at least one chain")
+        validate_backend_name(backend)
         self.factory = factory
         self.queries = list(queries)
         self.num_chains = num_chains
         self.evaluator_cls = evaluator_cls
+        self.backend = backend
         self.chain_results: List[EvaluationResult] = []
 
     def run(self, samples_per_chain: int, burn_in: int = 0) -> EvaluationResult:
         """Run every chain for ``samples_per_chain`` thinned samples and
         pool the counts (the paper's cross-chain averaging).  ``burn_in``
         thinned samples are discarded per chain before recording."""
-        self.chain_results = []
-        merged = [MarginalEstimator() for _ in self.queries]
-        elapsed = 0.0
-        for index in range(self.num_chains):
-            db, chain = self.factory(index)
-            evaluator = self.evaluator_cls(db, chain, self.queries)
-            result = evaluator.run(samples_per_chain, burn_in=burn_in)
-            self.chain_results.append(result)
-            elapsed += result.elapsed
-            for target, source in zip(merged, result.estimators):
-                target.merge(source)
-        return EvaluationResult(merged, elapsed)
+        backend = make_backend(self.backend)
+        try:
+            backend.start(
+                self.factory, self.num_chains, self.queries, self.evaluator_cls
+            )
+            result = backend.run(samples_per_chain, burn_in=burn_in)
+            self.chain_results = backend.chain_results
+        finally:
+            backend.close()
+        return result

@@ -45,6 +45,9 @@ class FactorGraph:
         self.has_dynamic_templates = any(
             getattr(t, "dynamic", False) for t in self.templates
         )
+        self._templates_by_name: Dict[str, List[Template]] = {}
+        for template in self.templates:
+            self._templates_by_name.setdefault(template.name, []).append(template)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -77,6 +80,43 @@ class FactorGraph:
         """Every factor of the unrolled graph (small graphs only)."""
         return self.factors_touching(self.variables)
 
+    def factor_exists(self, factor: Factor) -> bool:
+        """Whether ``factor`` is part of the unrolled graph *under the
+        current assignment*.
+
+        Dynamic templates may instantiate a factor from one endpoint's
+        perspective but not another's, so existence is checked from
+        every hidden endpoint: the factor exists if any of its own
+        variables yields a factor with the same key.
+        """
+        templates = self._templates_by_name.get(factor.template_name, ())
+        for variable in factor.variables:
+            if not isinstance(variable, HiddenVariable):
+                continue
+            for template in templates:
+                for candidate in template.factors_for(variable):
+                    if candidate.key == factor.key:
+                        return True
+        return False
+
+    def _present_keys(self, factors: Iterable[Factor]) -> set:
+        """Keys among ``factors`` that exist under the current
+        assignment, checked in one batch: every distinct endpoint's
+        adjacency is instantiated once (instead of once per factor, as
+        repeated :meth:`factor_exists` calls would)."""
+        partners: List[HiddenVariable] = []
+        seen: set = set()
+        wanted: set = set()
+        for factor in factors:
+            wanted.add(factor.key)
+            for variable in factor.variables:
+                if isinstance(variable, HiddenVariable) and id(variable) not in seen:
+                    seen.add(id(variable))
+                    partners.append(variable)
+        if not partners:
+            return set()
+        return wanted & self.factors_touching(partners).keys()
+
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
@@ -94,22 +134,58 @@ class FactorGraph:
 
         The assignment is restored before returning; this is a pure
         what-if query.  Structure-changing models (any dynamic
-        template) are handled by re-asking for the adjacent factor set
-        after the change; static models reuse the same factor set.
+        template) are handled by scoring the *union* of the adjacent
+        factor sets instantiated before and after the change: a factor
+        in only one of the two sets may nevertheless exist in the full
+        graph on both sides (instantiation asks only the touched
+        variables, and a dynamic neighbourhood need not be symmetric),
+        so each union member contributes on every side where
+        :meth:`factor_exists` holds.  Static models reuse one factor
+        set and skip the existence checks entirely.
+
+        Contract: a factor adjacent to a touched variable must be
+        yielded by ``factors_for`` on at least one side of the change
+        (from any of its endpoints).  A dynamic factor invisible from
+        *every* touched endpoint under *both* assignments cannot be
+        discovered locally and is missed — express such models with
+        neighbourhoods that include the touched variable's perspective
+        on at least one side.
         """
         touched = list(changes)
-        factors = self.factors_touching(touched)
-        before = sum(f.score() for f in factors.values())
+        before_factors = self.factors_touching(touched)
+        before = sum(f.score() for f in before_factors.values())
         saved = {v: v.value for v in touched}
+        appeared: List[Factor] = []
         try:
             for variable, value in changes.items():
                 variable.set_value(value)
-            if self.has_dynamic_templates:
-                factors = self.factors_touching(touched)
-            after = sum(f.score() for f in factors.values())
+            if not self.has_dynamic_templates:
+                return sum(f.score() for f in before_factors.values()) - before
+            after_factors = self.factors_touching(touched)
+            after = sum(f.score() for f in after_factors.values())
+            # Vanished from the touched side but still in the graph:
+            # score those under the changed world too.
+            vanished = [
+                factor
+                for key, factor in before_factors.items()
+                if key not in after_factors
+            ]
+            if vanished:
+                present = self._present_keys(vanished)
+                after += sum(f.score() for f in vanished if f.key in present)
+            appeared = [
+                factor
+                for key, factor in after_factors.items()
+                if key not in before_factors
+            ]
         finally:
             for variable, value in saved.items():
                 variable.set_value(value)
+        # Back under the original assignment: factors that appeared on
+        # the touched side may have already existed in the full graph.
+        if appeared:
+            present = self._present_keys(appeared)
+            before += sum(f.score() for f in appeared if f.key in present)
         return after - before
 
     # ------------------------------------------------------------------

@@ -164,26 +164,26 @@ class CorefModel:
         return {frozenset(group) for group in out.values()}
 
     # ------------------------------------------------------------------
+    # Bound methods rather than closures so the model (and any chain
+    # over it) pickles for the multiprocess chain backend.
+    def _same_cluster_neighbors(self, variable: HiddenVariable):
+        return [
+            other
+            for other in self.variables
+            if other is not variable and other.value == variable.value
+        ]
+
+    def _affinity_features(self, a: HiddenVariable, b: HiddenVariable):
+        return _similarity_features(self._strings[a.name], self._strings[b.name])
+
+    def _cross_cluster_neighbors(self, variable: HiddenVariable):
+        return [
+            other
+            for other in self._candidates.get(variable.name, ())
+            if other.value != variable.value
+        ]
+
     def _build_templates(self, use_repulsion: bool):
-        strings = self._strings
-
-        def same_cluster_neighbors(variable: HiddenVariable):
-            return [
-                other
-                for other in self.variables
-                if other is not variable and other.value == variable.value
-            ]
-
-        def affinity_features(a: HiddenVariable, b: HiddenVariable):
-            return _similarity_features(strings[a.name], strings[b.name])
-
-        def cross_cluster_neighbors(variable: HiddenVariable):
-            return [
-                other
-                for other in self._candidates.get(variable.name, ())
-                if other.value != variable.value
-            ]
-
         # Both neighbourhoods depend on the current cluster values, so
         # the factor *set* changes under a proposal: dynamic=True makes
         # the MH kernel re-instantiate factors after the change.
@@ -191,8 +191,8 @@ class CorefModel:
             PairwiseTemplate(
                 AFFINITY,
                 self.weights,
-                same_cluster_neighbors,
-                affinity_features,
+                self._same_cluster_neighbors,
+                self._affinity_features,
                 dynamic=True,
             )
         ]
@@ -201,8 +201,8 @@ class CorefModel:
                 PairwiseTemplate(
                     REPULSION,
                     self.weights,
-                    cross_cluster_neighbors,
-                    affinity_features,
+                    self._cross_cluster_neighbors,
+                    self._affinity_features,
                     dynamic=True,
                 )
             )

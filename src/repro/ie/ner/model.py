@@ -151,54 +151,57 @@ class SkipChainNerModel:
     # ------------------------------------------------------------------
     # Templates
     # ------------------------------------------------------------------
+    # Feature/neighbourhood functions are bound methods (not closures)
+    # so the model — and hence the factor graph, chain, and database
+    # snapshot — pickles for the multiprocess chain backend.
+    def _emission_features(self, variable: HiddenVariable):
+        string = self._strings[variable.name]
+        label = variable.value
+        return {
+            ("emit", string, label): 1.0,
+            ("cap", string[:1].isupper(), label): 1.0,
+        }
+
+    def _bias_features(self, variable: HiddenVariable):
+        return {("bias", variable.value): 1.0}
+
+    def _chain_neighbors(self, variable: HiddenVariable):
+        prev = self._prev.get(variable.name)
+        nxt = self._next.get(variable.name)
+        if prev is not None:
+            yield prev
+        if nxt is not None:
+            yield nxt
+
+    def _transition_features(self, a: HiddenVariable, b: HiddenVariable):
+        # Direction follows document order regardless of the
+        # template's canonical endpoint ordering.
+        if self._positions[a.name] < self._positions[b.name]:
+            return {("trans", a.value, b.value): 1.0}
+        return {("trans", b.value, a.value): 1.0}
+
+    def _skip_neighbors(self, variable: HiddenVariable):
+        return self._skip.get(variable.name, ())
+
+    def _skip_features(self, a: HiddenVariable, b: HiddenVariable):
+        if a.value == b.value:
+            return {("skip", "same"): 1.0}
+        return {("skip", "diff"): 1.0}
+
     def _build_templates(self):
-        strings = self._strings
-        positions = self._positions
-
-        def emission_features(variable: HiddenVariable):
-            string = strings[variable.name]
-            label = variable.value
-            return {
-                ("emit", string, label): 1.0,
-                ("cap", string[:1].isupper(), label): 1.0,
-            }
-
-        def bias_features(variable: HiddenVariable):
-            return {("bias", variable.value): 1.0}
-
-        def chain_neighbors(variable: HiddenVariable):
-            prev = self._prev.get(variable.name)
-            nxt = self._next.get(variable.name)
-            if prev is not None:
-                yield prev
-            if nxt is not None:
-                yield nxt
-
-        def transition_features(a: HiddenVariable, b: HiddenVariable):
-            # Direction follows document order regardless of the
-            # template's canonical endpoint ordering.
-            if positions[a.name] < positions[b.name]:
-                return {("trans", a.value, b.value): 1.0}
-            return {("trans", b.value, a.value): 1.0}
-
-        def skip_neighbors(variable: HiddenVariable):
-            return self._skip.get(variable.name, ())
-
-        def skip_features(a: HiddenVariable, b: HiddenVariable):
-            if a.value == b.value:
-                return {("skip", "same"): 1.0}
-            return {("skip", "diff"): 1.0}
-
         templates = [
-            UnaryTemplate(EMISSION, self.weights, emission_features),
-            UnaryTemplate(BIAS, self.weights, bias_features),
+            UnaryTemplate(EMISSION, self.weights, self._emission_features),
+            UnaryTemplate(BIAS, self.weights, self._bias_features),
             PairwiseTemplate(
-                TRANSITION, self.weights, chain_neighbors, transition_features
+                TRANSITION, self.weights, self._chain_neighbors,
+                self._transition_features,
             ),
         ]
         if self.use_skip:
             templates.append(
-                PairwiseTemplate(SKIP, self.weights, skip_neighbors, skip_features)
+                PairwiseTemplate(
+                    SKIP, self.weights, self._skip_neighbors, self._skip_features
+                )
             )
         return templates
 

@@ -32,7 +32,14 @@ from repro.ie.ner.labels import OUTSIDE
 from repro.ie.ner.model import SkipChainNerModel, fit_generative_weights
 from repro.fg.weights import Weights
 
-__all__ = ["TOKEN_SCHEMA", "build_token_database", "NerTask", "NerInstance", "NerPipeline"]
+__all__ = [
+    "TOKEN_SCHEMA",
+    "build_token_database",
+    "NerTask",
+    "NerInstance",
+    "NerPipeline",
+    "SeededChainFactory",
+]
 
 TOKEN_SCHEMA = Schema.build(
     "TOKEN",
@@ -189,17 +196,31 @@ class NerTask:
             scheduled=self.scheduled,
         )
 
-    def chain_factory(self, base_seed: int = 0):
+    def chain_factory(self, base_seed: int = 0) -> "SeededChainFactory":
         """A :data:`repro.core.parallel.ChainFactory` deriving chain
         seeds from ``base_seed`` (for ParallelEvaluator / ground truth)."""
+        return SeededChainFactory(self, base_seed)
+
+
+class SeededChainFactory:
+    """A picklable :data:`~repro.core.parallel.ChainFactory` over a task.
+
+    Pre-derives 1024 decorrelated chain seeds from ``base_seed`` (via
+    :func:`repro.rng.spawn`) so ``factory(i)`` is a pure function of
+    ``(task, base_seed, i)`` — the determinism contract the parallel
+    backends rely on.  A class rather than a closure so the factory
+    itself, like its products, can cross process boundaries.
+    """
+
+    def __init__(self, task: NerTask, base_seed: int = 0, num_seeds: int = 1024):
+        self.task = task
+        self.base_seed = base_seed
         root = make_rng(base_seed)
-        seeds = [spawn(root, i).randrange(2**31) for i in range(1024)]
+        self.seeds = [spawn(root, i).randrange(2**31) for i in range(num_seeds)]
 
-        def factory(index: int):
-            instance = self.make_instance(seeds[index])
-            return instance.db, instance.chain
-
-        return factory
+    def __call__(self, index: int) -> Tuple[Database, MarkovChain]:
+        instance = self.task.make_instance(self.seeds[index])
+        return instance.db, instance.chain
 
 
 class NerPipeline:

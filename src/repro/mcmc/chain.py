@@ -30,6 +30,15 @@ class MarkovChain:
     def stats(self) -> MHStatistics:
         return self.kernel.stats
 
+    @property
+    def effective_acceptance_rate(self) -> float:
+        """Acceptance rate over world-changing proposals only (no-op
+        self-transitions excluded) — the mixing signal consumers such
+        as schedule ablations should tune against, since no-ops inflate
+        the raw :attr:`MHStatistics.acceptance_rate` without moving the
+        chain."""
+        return self.kernel.stats.effective_acceptance_rate
+
     def advance(self) -> None:
         """Run ``k`` MH walk-steps (the MetropolisHastings(w, k) call in
         Algorithms 1 and 3)."""

@@ -5,7 +5,9 @@ One :meth:`MetropolisHastings.step`:
 1. draw ``w' ~ q(.|w)`` from the proposal distribution;
 2. score only the factors adjacent to the touched variables, before
    and after the change — the Appendix 9.2 cancellation makes this
-   O(|touched|), independent of database size;
+   O(|touched|), independent of database size; structure-changing
+   models score the union of both adjacent factor sets (see
+   :meth:`repro.fg.graph.FactorGraph.score_delta`);
 3. accept with probability ``min(1, pi(w')q(w|w') / pi(w)q(w'|w))``;
 4. on acceptance, flush changed :class:`~repro.fg.variables.FieldVariable`
    values through to the database, where attached delta recorders pick
@@ -40,7 +42,15 @@ class StepResult:
 
 @dataclass
 class MHStatistics:
-    """Running counters over the lifetime of a kernel."""
+    """Running counters over the lifetime of a kernel.
+
+    No-op self-transitions (proposals that change nothing) are always
+    accepted, so they count into both ``accepted`` and ``noops``.
+    :attr:`acceptance_rate` therefore over-states how often the chain
+    *moves*; consumers tuning against the acceptance signal should read
+    :attr:`effective_acceptance_rate`, which excludes no-ops from both
+    numerator and denominator.
+    """
 
     proposals: int = 0
     accepted: int = 0
@@ -48,9 +58,22 @@ class MHStatistics:
 
     @property
     def acceptance_rate(self) -> float:
+        """Fraction of proposals accepted, self-transitions included."""
         if self.proposals == 0:
             return 0.0
         return self.accepted / self.proposals
+
+    @property
+    def effective_acceptance_rate(self) -> float:
+        """Fraction of *world-changing* proposals accepted.
+
+        Excludes no-op self-transitions, which inflate
+        :attr:`acceptance_rate` without moving the chain.
+        """
+        moves = self.proposals - self.noops
+        if moves == 0:
+            return 0.0
+        return (self.accepted - self.noops) / moves
 
 
 class MetropolisHastings:
@@ -102,33 +125,23 @@ class MetropolisHastings:
             self.stats.noops += 1
             return StepResult(True, 0.0, {})
 
-        touched = list(changes)
-        # Static-structure fast path: the factors adjacent to the
-        # touched variables are the same before and after the change,
-        # so instantiate them once and score twice.  Dynamic templates
-        # (coref cluster membership) require re-instantiation.
-        factors = self.graph.factors_touching(touched)
-        before = sum(f.score() for f in factors.values())
-        saved = {variable: variable.value for variable in touched}
-        for variable, value in changes.items():
-            variable.set_value(value)
-        if self.graph.has_dynamic_templates:
-            factors = self.graph.factors_touching(touched)
-        after = sum(f.score() for f in factors.values())
-
-        log_alpha = (after - before) / self.temperature
+        # Score through the graph's what-if machinery: static models
+        # instantiate the adjacent factor set once and score it under
+        # both worlds; dynamic models (coref cluster membership) score
+        # the union of the before/after adjacent sets so factors that
+        # appear or vanish with the change contribute symmetrically.
+        log_alpha = self.graph.score_delta(changes) / self.temperature
         log_alpha += proposal.log_backward - proposal.log_forward
         accepted = log_alpha >= 0 or math.log(self.rng.random()) < log_alpha
 
         if accepted:
             self.stats.accepted += 1
-            for variable in touched:
+            for variable, value in changes.items():
+                variable.set_value(value)
                 if isinstance(variable, FieldVariable):
                     variable.flush()
             return StepResult(True, log_alpha, changes)
 
-        for variable, value in saved.items():
-            variable.set_value(value)
         return StepResult(False, log_alpha, {})
 
     def run(self, num_steps: int) -> MHStatistics:

@@ -204,6 +204,101 @@ class TestProbabilistic:
         )
         assert cursor.num_samples == 3 * 5
 
+    def test_chains_kwarg_implies_parallel(self):
+        """chains=K routes to pooled parallel chains without having to
+        name evaluator="parallel"."""
+        pipeline = self.make_pipeline()
+        cursor = pipeline.session.execute(self.QUERY, samples=4, chains=3)
+        assert cursor.num_samples == 3 * 5
+
+    def test_unknown_backend_rejected(self):
+        pipeline = self.make_pipeline()
+        with pytest.raises(EvaluationError, match="unknown backend"):
+            pipeline.session.execute(
+                self.QUERY, samples=3, chains=2, backend="threads"
+            )
+
+    def test_process_backend_reachable_from_connect(self):
+        """ISSUE 2 acceptance: chains=K, backend="process" through the
+        SQL session, with anytime refinement fanning out."""
+        task = NerTask(150, corpus_seed=5, steps_per_sample=20)
+        instance = task.make_instance(2)
+        with connect(instance.db).attach_model(
+            instance, chain_factory=task.chain_factory(31)
+        ) as session:
+            cursor = session.execute(
+                self.QUERY, samples=3, chains=2, backend="process"
+            )
+            assert cursor.num_samples == 2 * 4
+            cursor.refine(3)
+            assert cursor.num_samples == 2 * 7
+            assert cursor.wall_elapsed > 0
+            assert cursor.cpu_elapsed > 0
+
+    def test_sequential_and_process_backends_agree(self):
+        """Fixed seeds, chains=1: identical pooled marginals whichever
+        backend executes the chain."""
+        task = NerTask(150, corpus_seed=5, steps_per_sample=20)
+
+        def run(backend):
+            instance = task.make_instance(2)
+            with connect(instance.db).attach_model(
+                instance, chain_factory=task.chain_factory(17)
+            ) as session:
+                cursor = session.execute(
+                    self.QUERY, samples=6, chains=1, backend=backend
+                )
+                return cursor.marginals().probabilities()
+
+        assert run("sequential") == run("process")
+
+    def test_process_runner_workers_closed_on_session_close(self):
+        task = NerTask(150, corpus_seed=5, steps_per_sample=20)
+        instance = task.make_instance(2)
+        session = connect(instance.db).attach_model(
+            instance, chain_factory=task.chain_factory(8)
+        )
+        session.execute(self.QUERY, samples=2, chains=2, backend="process")
+        runner = next(
+            r for k, r in session._runners.items() if k[1] == "parallel"
+        )
+        workers = list(runner.backend._workers)
+        assert workers and all(w.process.is_alive() for w in workers)
+        session.close()
+        assert all(not w.process.is_alive() for w in workers)
+
+    def test_distinct_evaluator_kinds_get_distinct_parallel_runners(self):
+        pipeline = self.make_pipeline()
+        session = pipeline.session
+        session.execute(self.QUERY, samples=2, chains=2)
+        session.execute(self.QUERY, samples=2, chains=2, evaluator="naive")
+        parallel_keys = [k for k in session._runners if k[1] == "parallel"]
+        assert len(parallel_keys) == 2
+
+    def test_dead_process_runner_evicted_and_rebuilt(self):
+        """A worker crash must not permanently wedge the cached runner:
+        the next execute() of the same SQL rebuilds fresh chains."""
+        task = NerTask(150, corpus_seed=5, steps_per_sample=20)
+        instance = task.make_instance(2)
+        session = connect(instance.db).attach_model(
+            instance, chain_factory=task.chain_factory(8)
+        )
+        session.execute(self.QUERY, samples=2, chains=2, backend="process")
+        runner = next(
+            r for k, r in session._runners.items() if k[1] == "parallel"
+        )
+        for worker in runner.backend._workers:
+            worker.process.terminate()
+            worker.process.join(timeout=5)
+        with pytest.raises(EvaluationError):
+            session.execute(self.QUERY, samples=2, chains=2, backend="process")
+        # Evicted: the retry builds a fresh runner and succeeds.
+        cursor = session.execute(
+            self.QUERY, samples=2, chains=2, backend="process"
+        )
+        assert cursor.num_samples == 2 * 3
+        session.close()
+
     def test_first_probabilistic_execute_is_not_a_cache_hit(self):
         pipeline = self.make_pipeline()
         before = pipeline.session.cache_info()

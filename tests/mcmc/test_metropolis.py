@@ -201,6 +201,139 @@ class TestConvergence:
         assert ones / total == pytest.approx(0.5, abs=0.02)
 
 
+def one_sided_dynamic_graph(n=3):
+    """A structure-changing model whose adjacency is *one-sided*: a
+    variable only "sees" partners whose value is >= its own, while the
+    unrolled graph contains every pair (the lower endpoint instantiates
+    it).  The touched-side adjacent factor set therefore gains/loses
+    factors asymmetrically under a value change — the regression case
+    for union scoring in ``FactorGraph.score_delta``."""
+    domain = Domain("b", [0, 1])
+    variables = [HiddenVariable(f"m{i}", domain, i % 2) for i in range(n)]
+    index = {v.name: i for i, v in enumerate(variables)}
+    weights = Weights()
+    table = {(0, 0): 0.8, (0, 1): -0.9, (1, 0): 0.3, (1, 1): 1.1}
+    for key, value in table.items():
+        weights.set("ge", key, value)
+
+    def neighbors(variable):
+        return [
+            o for o in variables if o is not variable and o.value >= variable.value
+        ]
+
+    def features(a, b):
+        if index[a.name] > index[b.name]:
+            a, b = b, a
+        return {(a.value, b.value): 1.0}
+
+    graph = FactorGraph(
+        variables,
+        [PairwiseTemplate("ge", weights, neighbors, features, dynamic=True)],
+    )
+    return graph, variables
+
+
+class TestDynamicTemplateScoring:
+    """Regression tests for the dynamic-template path of
+    ``score_delta``/``step`` (factors appearing/vanishing with a change
+    must contribute symmetrically)."""
+
+    def test_score_delta_matches_full_graph_rescoring(self):
+        graph, variables = one_sided_dynamic_graph()
+        import itertools
+
+        for assignment in itertools.product([0, 1], repeat=len(variables)):
+            for variable, value in zip(variables, assignment):
+                variable.set_value(value)
+            for target in variables:
+                for proposed in (0, 1):
+                    before = graph.score()
+                    delta = graph.score_delta({target: proposed})
+                    saved = target.value
+                    target.set_value(proposed)
+                    after = graph.score()
+                    target.set_value(saved)
+                    assert delta == pytest.approx(after - before), (
+                        f"assignment {assignment}, {target.name} -> {proposed}"
+                    )
+
+    def test_chain_matches_exact_distribution(self):
+        """Chain marginals on the one-sided dynamic graph must match
+        brute-force enumeration (diverged before the union fix)."""
+        graph, variables = one_sided_dynamic_graph()
+        exact = graph.exact_distribution()
+        kernel = MetropolisHastings(
+            graph, UniformLabelProposer(variables), seed=21
+        )
+        counts: dict = {}
+        total = 60_000
+        for _ in range(total):
+            kernel.step()
+            key = tuple(v.value for v in variables)
+            counts[key] = counts.get(key, 0) + 1
+        for assignment, probability in exact.items():
+            empirical = counts.get(assignment, 0) / total
+            assert empirical == pytest.approx(probability, abs=0.02), assignment
+
+    def test_factor_exists_reflects_current_assignment(self):
+        graph, variables = one_sided_dynamic_graph(n=2)
+        a, b = variables
+        a.set_value(0)
+        b.set_value(1)
+        factor = next(iter(graph.factors_touching([a]).values()))
+        assert graph.factor_exists(factor)
+        # With a=1, b=0 the pair is still in the graph (b's side sees
+        # a), even though a's own adjacency no longer yields it.
+        a.set_value(1)
+        b.set_value(0)
+        assert not list(graph.templates[0].factors_for(a))
+        assert graph.factor_exists(factor)
+
+
+class TestStatistics:
+    def test_effective_acceptance_excludes_noops(self):
+        graph, v = single_variable_graph(field=0.0)
+        from repro.mcmc.proposal import Proposal
+
+        class NoopProposer:
+            def propose(self, rng):
+                return Proposal({v: v.value})
+
+        kernel = MetropolisHastings(graph, NoopProposer(), seed=6)
+        kernel.run(10)
+        assert kernel.stats.proposals == 10
+        assert kernel.stats.noops == 10
+        assert kernel.stats.accepted == 10  # self-transitions accept
+        assert kernel.stats.acceptance_rate == 1.0
+        assert kernel.stats.effective_acceptance_rate == 0.0
+
+    def test_effective_acceptance_counts_real_moves(self):
+        graph, v = single_variable_graph(field=0.0)  # uniform: all accept
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=7)
+        kernel.run(200)
+        stats = kernel.stats
+        assert stats.noops > 0  # uniform resampling proposes self often
+        assert stats.effective_acceptance_rate == pytest.approx(1.0)
+        assert stats.acceptance_rate == 1.0
+
+    def test_zero_proposals(self):
+        from repro.mcmc.metropolis import MHStatistics
+
+        stats = MHStatistics()
+        assert stats.acceptance_rate == 0.0
+        assert stats.effective_acceptance_rate == 0.0
+
+    def test_chain_exposes_effective_rate(self):
+        graph, v = single_variable_graph()
+        kernel = MetropolisHastings(graph, UniformLabelProposer([v]), seed=8)
+        chain = MarkovChain(kernel, steps_per_sample=10)
+        chain.advance()
+        assert (
+            chain.effective_acceptance_rate
+            == kernel.stats.effective_acceptance_rate
+        )
+
+
 class TestMarkovChain:
     def test_thinning_runs_k_steps_per_sample(self):
         graph, v = single_variable_graph()
