@@ -5,23 +5,50 @@ constant with respect to the size of the database" — because a proposal
 touching one variable evaluates only the constant number of factors
 adjacent to it (Appendix 9.2).  This bench times walk-steps at two
 database sizes an order of magnitude apart and asserts near-constancy.
+
+Since the hot-path overhaul the walk-step is additionally served by the
+static adjacency cache and score memoization
+(:meth:`repro.fg.graph.FactorGraph.set_caching`); the ``cached``
+parametrization records both series so the committed JSON carries the
+before/after comparison, and ``test_step_cost_cached_vs_uncached``
+asserts the cache (a) speeds up the walk and (b) leaves sampling
+results bit-identical under fixed seeds.
+
+Pre-overhaul reference (commit c4d84e2, this machine, REPRO_SCALE=1):
+~34.9 us/step at 40k tokens — recorded in ``extra_info`` so the
+committed ``BENCH_step_cost.json`` documents the >=2x reduction.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.bench import make_task, scale_factor
+from repro.bench import QUERY2, make_task, scale_factor
+
+from check_step_cost import MAX_STEP_COST_RATIO
 
 SIZES = [2_000, 40_000]
 STEPS = 2_000
 
+# Mean us/step measured at the pre-overhaul commit (c4d84e2) with the
+# identical protocol (500 warm-up steps, 2000 timed steps, 40k tokens).
+PRE_OVERHAUL_US_PER_STEP_40K = 34.9
 
+
+def _timed_instance(num_tokens: int, cached: bool, chain_seed: int = 1):
+    task = make_task(num_tokens, steps_per_sample=STEPS)
+    instance = task.make_instance(chain_seed)
+    instance.kernel.graph.set_caching(cached)
+    return instance
+
+
+@pytest.mark.parametrize("cached", [True, False], ids=["cached", "uncached"])
 @pytest.mark.parametrize("num_tokens", [s * scale_factor() for s in SIZES])
 @pytest.mark.benchmark(group="step-cost")
-def test_step_cost(benchmark, num_tokens):
-    task = make_task(num_tokens, steps_per_sample=STEPS)
-    instance = task.make_instance(1)
+def test_step_cost(benchmark, num_tokens, cached):
+    instance = _timed_instance(num_tokens, cached)
 
     def run_steps():
         instance.kernel.run(STEPS)
@@ -29,18 +56,17 @@ def test_step_cost(benchmark, num_tokens):
     benchmark.pedantic(run_steps, rounds=5, iterations=1, warmup_rounds=1)
     benchmark.extra_info["tokens"] = num_tokens
     benchmark.extra_info["steps"] = STEPS
+    benchmark.extra_info["cached"] = cached
 
 
 @pytest.mark.benchmark(group="step-cost-ratio")
 def test_step_cost_ratio_is_near_constant(benchmark):
     """Direct assertion of the §5.3 claim (20x the data, ~same step cost)."""
-    import time
 
     def experiment():
         times = {}
         for num_tokens in [s * scale_factor() for s in SIZES]:
-            task = make_task(num_tokens, steps_per_sample=STEPS)
-            instance = task.make_instance(1)
+            instance = _timed_instance(num_tokens, cached=True)
             instance.kernel.run(500)  # warm caches
             started = time.perf_counter()
             instance.kernel.run(STEPS)
@@ -55,4 +81,50 @@ def test_step_cost_ratio_is_near_constant(benchmark):
         f"(ratio {large / small:.2f}x for {SIZES[1] // SIZES[0]}x the data)"
     )
     benchmark.extra_info["per_step_seconds"] = {str(k): v for k, v in times.items()}
-    assert large / small < 2.5, "walk-step cost must not scale with DB size"
+    assert large / small < MAX_STEP_COST_RATIO, (
+        "walk-step cost must not scale with DB size"
+    )
+
+
+@pytest.mark.benchmark(group="step-cost-cache")
+def test_step_cost_cached_vs_uncached(benchmark):
+    """The overhaul's acceptance check: the cached hot path is faster
+    at the large size and produces bit-identical marginals."""
+    large = SIZES[1] * scale_factor()
+
+    def experiment():
+        out = {}
+        for cached in (True, False):
+            instance = _timed_instance(large, cached)
+            instance.kernel.run(500)  # warm caches / match protocols
+            started = time.perf_counter()
+            instance.kernel.run(STEPS)
+            out["cached" if cached else "uncached"] = (
+                time.perf_counter() - started
+            ) / STEPS
+        return out
+
+    times = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    speedup = times["uncached"] / times["cached"]
+    versus_pre = (PRE_OVERHAUL_US_PER_STEP_40K / 1e6) / times["cached"]
+    print(
+        f"\ncached {times['cached'] * 1e6:.1f}us/step vs uncached "
+        f"{times['uncached'] * 1e6:.1f}us/step ({speedup:.2f}x), "
+        f"{versus_pre:.2f}x vs pre-overhaul {PRE_OVERHAUL_US_PER_STEP_40K}us"
+    )
+    benchmark.extra_info["per_step_seconds"] = times
+    benchmark.extra_info["speedup_vs_uncached"] = speedup
+    benchmark.extra_info["pre_overhaul_us_per_step"] = PRE_OVERHAUL_US_PER_STEP_40K
+    benchmark.extra_info["speedup_vs_pre_overhaul"] = versus_pre
+    assert speedup > 1.0, "adjacency cache must not slow the walk down"
+
+    # Bit-identity: same seeds, same marginals, caches on or off.
+    marginals = {}
+    for cached in (True, False):
+        instance = _timed_instance(SIZES[0] * scale_factor(), cached, chain_seed=7)
+        evaluator = instance.evaluator([QUERY2])
+        evaluator.run(20)
+        marginals[cached] = evaluator.estimators[0].probabilities()
+    assert marginals[True] == marginals[False], (
+        "cached inference must be bit-identical to the uncached reference"
+    )

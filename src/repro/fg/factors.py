@@ -10,6 +10,15 @@ Factors are created lazily by templates when inference asks which
 factors touch a changed variable; :attr:`Factor.key` deduplicates the
 instances that two endpoints of the same factor would otherwise
 produce.
+
+Static templates pool their factor instances (one object per key for
+the graph's lifetime), which makes per-instance *score memoization*
+profitable: a :class:`LogLinearFactor` built with ``stable=True``
+caches ``endpoint values -> score`` and invalidates the cache whenever
+:attr:`repro.fg.weights.Weights.version` moves.  ``stable`` asserts
+that the factor's features depend only on its endpoints' values (plus
+per-factor constants such as an observed token string) — never on the
+values of variables outside the factor.
 """
 
 from __future__ import annotations
@@ -29,17 +38,25 @@ NEG_INF = float("-inf")
 class Factor:
     """Base class.  A factor reads the *current* values of its variables."""
 
-    __slots__ = ("template_name", "variables")
+    __slots__ = ("template_name", "variables", "_key")
 
     def __init__(self, template_name: str, variables: Tuple[Variable, ...]):
         self.template_name = template_name
         self.variables = variables
+        self._key = None
 
     @property
     def key(self) -> Hashable:
         """Identity for deduplication: a factor instance reachable from
-        several of its variables must produce equal keys."""
-        return (self.template_name, tuple(v.name for v in self.variables))
+        several of its variables must produce equal keys.  Computed on
+        first use and cached (names never change)."""
+        key = self._key
+        if key is None:
+            key = self._key = (
+                self.template_name,
+                tuple(v.name for v in self.variables),
+            )
+        return key
 
     def score(self) -> float:
         """Log-space compatibility of the current assignment."""
@@ -59,10 +76,21 @@ class LogLinearFactor(Factor):
     """``score = theta · phi(values)`` with shared template weights.
 
     ``feature_fn`` maps the current variable values (in ``variables``
-    order) to a sparse feature vector.
+    order) to a sparse feature vector; with ``pass_variables=True`` it
+    receives the variable objects themselves instead (the calling
+    convention of template-bound model feature methods, which read
+    ``variable.value`` and per-variable observations directly — no
+    per-instantiation closure needed).
+
+    ``stable=True`` memoizes ``endpoint values -> score``.  The memo is
+    keyed against :attr:`Weights.version`, so any weight mutation
+    (SampleRank updates, ``set``, ``load``) invalidates it on the next
+    read.  Only enable for factors whose features are a pure function
+    of their own endpoints' values (see module docstring).
     """
 
-    __slots__ = ("weights", "_feature_fn")
+    __slots__ = ("weights", "_feature_fn", "stable", "_pass_variables",
+                 "_memo", "_memo_version")
 
     def __init__(
         self,
@@ -70,16 +98,44 @@ class LogLinearFactor(Factor):
         variables: Tuple[Variable, ...],
         weights: Weights,
         feature_fn: Callable[..., FeatureVector],
+        stable: bool = False,
+        pass_variables: bool = False,
     ):
         super().__init__(template_name, variables)
         self.weights = weights
         self._feature_fn = feature_fn
+        self.stable = stable
+        self._pass_variables = pass_variables
+        self._memo: Dict[Tuple[Any, ...], float] | None = {} if stable else None
+        self._memo_version = -1
 
     def features(self) -> FeatureVector:
+        if self._pass_variables:
+            return self._feature_fn(*self.variables)
         return self._feature_fn(*(v.value for v in self.variables))
 
     def score(self) -> float:
-        return self.weights.dot(self.template_name, self.features())
+        memo = self._memo
+        weights = self.weights
+        if memo is None:
+            return weights.dot(self.template_name, self.features())
+        version = weights._version
+        if version != self._memo_version:
+            memo.clear()
+            self._memo_version = version
+        variables = self.variables
+        arity = len(variables)
+        if arity == 1:
+            values = variables[0]._value
+        elif arity == 2:
+            values = (variables[0]._value, variables[1]._value)
+        else:
+            values = tuple(v._value for v in variables)
+        cached = memo.get(values)
+        if cached is None:
+            cached = weights.dot(self.template_name, self.features())
+            memo[values] = cached
+        return cached
 
 
 class TableFactor(Factor):

@@ -6,6 +6,19 @@ templates only around the variables a proposal touches, so the cost of
 evaluating a Metropolis-Hastings acceptance ratio is independent of the
 database size (Appendix 9.2).
 
+On top of laziness the graph keeps a **static adjacency cache**: for
+each variable, the factors contributed by static (non-``dynamic``)
+templates are instantiated once on first touch and reused for the
+graph's lifetime — the structure of a static template cannot change, so
+``factors_touching``/``local_score``/``score_delta`` reduce to a dict
+lookup plus (memoized) factor scoring instead of a scan over all
+templates with fresh allocations per step.  Dynamic templates are
+re-queried on every call, exactly as before.  :meth:`set_caching`
+disables both layers to recover the uncached reference behaviour
+(equivalence tests and benchmarks rely on bit-identical results), and
+code that mutates ``graph.templates`` in place after scoring has
+started must call :meth:`clear_caches` for the change to take effect.
+
 For small graphs the class also offers exact enumeration utilities
 (:meth:`enumerate_assignments`, :meth:`exact_marginals`) used by the
 test suite to validate that MCMC converges to the true distribution.
@@ -48,6 +61,13 @@ class FactorGraph:
         self._templates_by_name: Dict[str, List[Template]] = {}
         for template in self.templates:
             self._templates_by_name.setdefault(template.name, []).append(template)
+        # variable name -> per-template tuple of pooled static factors
+        # (None entries mark dynamic templates, re-queried every call).
+        self._static_adjacency: Dict[Hashable, Tuple[Tuple[Factor, ...] | None, ...]] = {}
+        # variable name -> flat deduplicated tuple of static factors
+        # (the whole adjacency when the graph has no dynamic templates).
+        self._flat_adjacency: Dict[Hashable, Tuple[Factor, ...]] = {}
+        self._cache_enabled = True
 
     # ------------------------------------------------------------------
     # Lookup
@@ -62,19 +82,125 @@ class FactorGraph:
         return len(self.variables)
 
     # ------------------------------------------------------------------
+    # Cache control
+    # ------------------------------------------------------------------
+    def set_caching(self, enabled: bool) -> None:
+        """Toggle the static adjacency cache, template instance pools
+        and score memoization in one go.  ``set_caching(False)``
+        restores the uncached reference behaviour: every call
+        re-instantiates factors and every score recomputes the feature
+        dot product.  Sampling results are bit-identical either way."""
+        self._cache_enabled = bool(enabled)
+        self._static_adjacency.clear()
+        self._flat_adjacency.clear()
+        for template in self.templates:
+            template.set_caching(enabled)
+
+    @property
+    def caching_enabled(self) -> bool:
+        return self._cache_enabled
+
+    def clear_caches(self) -> None:
+        """Drop cached adjacency and pooled instances (rebuilt lazily).
+
+        Required after structurally mutating the model in place — e.g.
+        replacing an entry of :attr:`templates` or swapping a template's
+        weights/feature function once scoring has started.  Adjacency
+        and pools assume static structure is fixed for the graph's
+        lifetime; without this call, scoring keeps serving factor
+        instances built from the old templates."""
+        self._static_adjacency.clear()
+        self._flat_adjacency.clear()
+        for template in self.templates:
+            template.clear_cache()
+
+    # ------------------------------------------------------------------
     # Factor instantiation
     # ------------------------------------------------------------------
+    def _adjacency(
+        self, variable: HiddenVariable
+    ) -> Tuple[Tuple[Factor, ...] | None, ...]:
+        """Per-template static factor tuples adjacent to ``variable``,
+        cached for the graph's lifetime (``None`` = dynamic template)."""
+        entry = tuple(
+            None if template.dynamic else tuple(template.factors_for(variable))
+            for template in self.templates
+        )
+        self._static_adjacency[variable.name] = entry
+        return entry
+
+    def adjacent_static(self, variable: HiddenVariable) -> Tuple[Factor, ...]:
+        """Flat, deduplicated tuple of factors that static templates
+        contribute around ``variable`` — for a graph without dynamic
+        templates, its entire adjacency.  Instances are pooled and the
+        tuple is cached for the graph's lifetime (static structure
+        cannot change), so steady-state callers allocate nothing.
+        Iteration order matches the uncached template scan, keeping
+        floating-point sums bit-identical."""
+        if not self._cache_enabled:
+            return self._flatten_static(variable)
+        flat = self._flat_adjacency.get(variable.name)
+        if flat is None:
+            flat = self._flatten_static(variable)
+            self._flat_adjacency[variable.name] = flat
+        return flat
+
+    def _flatten_static(self, variable: HiddenVariable) -> Tuple[Factor, ...]:
+        seen = set()
+        out: List[Factor] = []
+        for template in self.templates:
+            if template.dynamic:
+                continue
+            for factor in template.factors_for(variable):
+                key = factor.key
+                if key not in seen:
+                    seen.add(key)
+                    out.append(factor)
+        return tuple(out)
+
     def factors_touching(
         self, variables: Iterable[HiddenVariable]
     ) -> Dict[Hashable, Factor]:
         """Deduplicated factors adjacent to ``variables`` under the
         current assignment."""
-        return dedup_factors(
-            factor
-            for variable in variables
-            for template in self.templates
-            for factor in template.factors_for(variable)
-        )
+        if not self._cache_enabled:
+            return dedup_factors(
+                factor
+                for variable in variables
+                for template in self.templates
+                for factor in template.factors_for(variable)
+            )
+        out: Dict[Hashable, Factor] = {}
+        if not self.has_dynamic_templates:
+            for variable in variables:
+                flat = self._flat_adjacency.get(variable.name)
+                if flat is None:
+                    flat = self.adjacent_static(variable)
+                for factor in flat:
+                    key = factor._key
+                    if key is None:
+                        key = factor.key
+                    if key not in out:
+                        out[key] = factor
+            return out
+        templates = self.templates
+        static_adjacency = self._static_adjacency
+        for variable in variables:
+            entry = static_adjacency.get(variable.name)
+            if entry is None:
+                entry = self._adjacency(variable)
+            # Preserve template order so summation order (and hence
+            # floating-point results) matches the uncached path.
+            for template, factors in zip(templates, entry):
+                if factors is None:
+                    factors = template.factors_for(variable)
+                for factor in factors:
+                    key = factor._key
+                    if key is None:
+                        key = factor.key
+                    if key not in out:
+                        out[key] = factor
+        return out
 
     def all_factors(self) -> Dict[Hashable, Factor]:
         """Every factor of the unrolled graph (small graphs only)."""
@@ -152,6 +278,25 @@ class FactorGraph:
         on at least one side.
         """
         touched = list(changes)
+        if not self.has_dynamic_templates and len(touched) == 1:
+            # Hot path: a single-variable proposal on a static graph.
+            # The flat cached adjacency needs no dict, no dedup and (in
+            # steady state) no allocation; summation order matches the
+            # generic path below so results stay bit-identical.
+            variable = touched[0]
+            factors = self.adjacent_static(variable)
+            before = 0.0
+            for factor in factors:
+                before += factor.score()
+            saved_value = variable.value
+            try:
+                variable.set_value(changes[variable])
+                after = 0.0
+                for factor in factors:
+                    after += factor.score()
+            finally:
+                variable.set_value(saved_value)
+            return after - before
         before_factors = self.factors_touching(touched)
         before = sum(f.score() for f in before_factors.values())
         saved = {v: v.value for v in touched}
@@ -187,6 +332,18 @@ class FactorGraph:
             present = self._present_keys(appeared)
             before += sum(f.score() for f in appeared if f.key in present)
         return after - before
+
+    # ------------------------------------------------------------------
+    # Pickling (multiprocess chain backend)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The adjacency cache rebuilds lazily; dropping it keeps chain
+        # snapshots lean and sidesteps any identity subtleties of
+        # pickling pooled factor instances alongside their variables.
+        state = self.__dict__.copy()
+        state["_static_adjacency"] = {}
+        state["_flat_adjacency"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Exact enumeration (test-scale graphs)

@@ -7,6 +7,14 @@ scalability: the graph is never unrolled over the whole database — only
 the factors touching variables changed by a proposal are materialized
 (paper §3.3/§3.4 and Appendix 9.2).
 
+Static (non-``dynamic``) templates additionally *pool* their factor
+instances: ``factors_for`` returns the same :class:`LogLinearFactor`
+objects for the graph's lifetime instead of constructing fresh objects
+and feature closures on every call, so the MH inner loop allocates
+(nearly) nothing and per-instance score memoization pays off.  Dynamic
+templates — whose factor *set* depends on other variables' values —
+keep re-instantiating, as the set must be recomputed per call anyway.
+
 Generic templates cover the common arities:
 
 * :class:`UnaryTemplate` — one factor per variable (bias, emission
@@ -21,7 +29,7 @@ functions; see :mod:`repro.ie.ner.model`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Iterator, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.fg.factors import Factor, LogLinearFactor
 from repro.fg.features import FeatureVector
@@ -40,17 +48,47 @@ class Template:
     instantiate the adjacent factor set once per proposal and score it
     under both worlds; dynamic templates force re-instantiation after
     the hypothesized change.
+
+    ``stable_features`` is the memoization contract (see
+    :class:`repro.fg.factors.LogLinearFactor`): it asserts that a
+    factor's features depend only on its own endpoints' values plus
+    per-factor constants, never on other variables' values, so
+    ``endpoint values -> score`` may be cached.  Defaults to ``True``
+    for static templates and ``False`` for dynamic ones; model authors
+    whose *static* template features read global state must pass
+    ``stable_features=False`` explicitly.
     """
 
-    def __init__(self, name: str, dynamic: bool = False):
+    def __init__(
+        self,
+        name: str,
+        dynamic: bool = False,
+        stable_features: bool | None = None,
+    ):
         self.name = name
         self.dynamic = dynamic
+        self.stable_features = (
+            (not dynamic) if stable_features is None else stable_features
+        )
+        self._cache_enabled = True
 
     def factors_for(self, variable: HiddenVariable) -> Iterable[Factor]:
         """All factor instances of this template adjacent to ``variable``
         *under the current assignment* (the set may depend on the values
         of other variables for structure-changing models)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Cache control (benchmarks and equivalence tests flip this off to
+    # reproduce the uncached reference behaviour).
+    # ------------------------------------------------------------------
+    def set_caching(self, enabled: bool) -> None:
+        """Enable/disable instance pooling and score memoization."""
+        self._cache_enabled = bool(enabled)
+        self.clear_cache()
+
+    def clear_cache(self) -> None:
+        """Drop pooled instances (rebuilt lazily); no-op by default."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
@@ -68,8 +106,10 @@ class UnaryTemplate(Template):
     """One log-linear factor per hidden variable.
 
     ``feature_fn(variable)`` returns the sparse sufficient statistics
-    of the variable's current value; closures may capture per-variable
-    observations (e.g. the token string for an emission factor).
+    of the variable's current value; bound methods (or closures) may
+    capture per-variable observations (e.g. the token string for an
+    emission factor).  The factor instance for each variable is built
+    once and pooled.
     """
 
     def __init__(
@@ -77,20 +117,41 @@ class UnaryTemplate(Template):
         name: str,
         weights: Weights,
         feature_fn: Callable[[HiddenVariable], FeatureVector],
+        stable_features: bool | None = None,
     ):
-        super().__init__(name, dynamic=False)
+        super().__init__(name, dynamic=False, stable_features=stable_features)
         self.weights = weights
         self._feature_fn = feature_fn
+        self._pool: Dict[Hashable, Factor] = {}
 
-    def factors_for(self, variable: HiddenVariable) -> Iterator[Factor]:
-        feature_fn = self._feature_fn
+    def clear_cache(self) -> None:
+        self._pool.clear()
 
-        def features(_value) -> FeatureVector:
-            # The bound variable's value is read through the closure so
-            # the factor always scores the current assignment.
-            return feature_fn(variable)
+    def factors_for(self, variable: HiddenVariable) -> Tuple[Factor, ...]:
+        if not self._cache_enabled:
+            return (self._instantiate(variable, stable=False),)
+        factor = self._pool.get(variable.name)
+        if factor is None:
+            factor = self._instantiate(variable, stable=self.stable_features)
+            self._pool[variable.name] = factor
+        return (factor,)
 
-        yield LogLinearFactor(self.name, (variable,), self.weights, features)
+    def _instantiate(self, variable: HiddenVariable, stable: bool) -> Factor:
+        return LogLinearFactor(
+            self.name,
+            (variable,),
+            self.weights,
+            self._feature_fn,
+            stable=stable,
+            pass_variables=True,
+        )
+
+    def __getstate__(self):
+        # Pools rebuild lazily; dropping them keeps chain snapshots for
+        # the multiprocess backend lean (and closure-free).
+        state = self.__dict__.copy()
+        state["_pool"] = {}
+        return state
 
 
 class PairwiseTemplate(Template):
@@ -99,7 +160,13 @@ class PairwiseTemplate(Template):
     ``neighbors_fn(variable)`` yields the other endpoints under the
     current assignment; ``feature_fn(a, b)`` maps the two variables to
     features.  Endpoints are canonically ordered by variable name so
-    both directions produce the same factor key.
+    both directions produce the same factor key; the ordering key of
+    each variable is computed once and cached.
+
+    Static templates cache the adjacent factor tuple per variable and
+    pool instances by factor key (both endpoints share one object);
+    dynamic templates re-instantiate on every call because the
+    neighbour set depends on the current assignment.
     """
 
     def __init__(
@@ -109,28 +176,69 @@ class PairwiseTemplate(Template):
         neighbors_fn: Callable[[HiddenVariable], Iterable[Variable]],
         feature_fn: Callable[[Variable, Variable], FeatureVector],
         dynamic: bool = False,
+        stable_features: bool | None = None,
     ):
-        super().__init__(name, dynamic=dynamic)
+        super().__init__(name, dynamic=dynamic, stable_features=stable_features)
         self.weights = weights
         self._neighbors_fn = neighbors_fn
         self._feature_fn = feature_fn
+        self._pool: Dict[Hashable, Factor] = {}
+        self._adjacent: Dict[Hashable, Tuple[Factor, ...]] = {}
+        self._order_keys: Dict[Hashable, str] = {}
 
-    def factors_for(self, variable: HiddenVariable) -> Iterator[Factor]:
+    def clear_cache(self) -> None:
+        self._pool.clear()
+        self._adjacent.clear()
+        self._order_keys.clear()
+
+    def factors_for(self, variable: HiddenVariable) -> Sequence[Factor]:
+        if self.dynamic or not self._cache_enabled:
+            return self._instantiate(variable)
+        adjacent = self._adjacent.get(variable.name)
+        if adjacent is None:
+            adjacent = tuple(self._instantiate(variable))
+            self._adjacent[variable.name] = adjacent
+        return adjacent
+
+    def _instantiate(self, variable: HiddenVariable) -> List[Factor]:
+        pooled = self._cache_enabled and not self.dynamic
+        stable = self.stable_features and self._cache_enabled
+        pool = self._pool
+        weights = self.weights
+        feature_fn = self._feature_fn
+        out: List[Factor] = []
         for other in self._neighbors_fn(variable):
-            first, second = _ordered(variable, other)
-            feature_fn = self._feature_fn
+            first, second = self._ordered(variable, other)
+            if pooled:
+                key = (first.name, second.name)
+                factor = pool.get(key)
+                if factor is None:
+                    factor = LogLinearFactor(
+                        self.name, (first, second), weights, feature_fn,
+                        stable=stable, pass_variables=True,
+                    )
+                    pool[key] = factor
+            else:
+                factor = LogLinearFactor(
+                    self.name, (first, second), weights, feature_fn,
+                    stable=stable, pass_variables=True,
+                )
+            out.append(factor)
+        return out
 
-            def features(_a, _b, first=first, second=second) -> FeatureVector:
-                return feature_fn(first, second)
+    def _ordered(self, a: Variable, b: Variable) -> Tuple[Variable, Variable]:
+        keys = self._order_keys
+        key_a = keys.get(a.name)
+        if key_a is None:
+            key_a = keys[a.name] = repr(a.name)
+        key_b = keys.get(b.name)
+        if key_b is None:
+            key_b = keys[b.name] = repr(b.name)
+        return (a, b) if key_a <= key_b else (b, a)
 
-            yield LogLinearFactor(
-                self.name, (first, second), self.weights, features
-            )
-
-
-def _ordered(a: Variable, b: Variable) -> Tuple[Variable, Variable]:
-    return (a, b) if _sort_key(a) <= _sort_key(b) else (b, a)
-
-
-def _sort_key(v: Variable) -> str:
-    return repr(v.name)
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = {}
+        state["_adjacent"] = {}
+        state["_order_keys"] = {}
+        return state

@@ -5,6 +5,12 @@ every factor template, keyed by ``(template_name, feature_key)``.
 Scoring is a sparse dot product; learning (SampleRank) applies sparse
 additive updates.  Keeping all templates' weights in one object makes
 saving/loading and L2 norms trivial.
+
+Every mutation bumps a monotonic :attr:`Weights.version` counter.
+Memoized factor scores (:class:`repro.fg.factors.LogLinearFactor` with
+``stable=True``) are keyed against this counter, so SampleRank's
+mid-inference weight updates transparently invalidate every cached
+score without any registry of dependent factors.
 """
 
 from __future__ import annotations
@@ -24,16 +30,24 @@ Key = Tuple[str, Hashable]
 class Weights:
     """Sparse parameter vector shared by all templates of a model."""
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_version")
 
     def __init__(self) -> None:
         self._values: Dict[Key, float] = {}
+        self._version: int = 0
 
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; memoized factor scores cached
+        under an older version are stale."""
+        return self._version
+
     def get(self, template: str, feature: Hashable) -> float:
         return self._values.get((template, feature), 0.0)
 
     def set(self, template: str, feature: Hashable, value: float) -> None:
+        self._version += 1
         if value == 0.0:
             self._values.pop((template, feature), None)
         else:
@@ -42,10 +56,12 @@ class Weights:
     def dot(self, template: str, features: FeatureVector) -> float:
         """``theta_template · phi`` for a sparse feature vector."""
         values = self._values
-        return sum(
-            values.get((template, key), 0.0) * value
-            for key, value in features.items()
-        )
+        total = 0.0
+        for key, value in features.items():
+            weight = values.get((template, key))
+            if weight is not None:
+                total += weight * value
+        return total
 
     def update(self, template: str, features: FeatureVector, step: float) -> None:
         """``theta_template += step * phi`` (the perceptron-style update
@@ -65,6 +81,7 @@ class Weights:
     def copy(self) -> "Weights":
         out = Weights()
         out._values = dict(self._values)
+        out._version = self._version
         return out
 
     def items(self):

@@ -186,7 +186,10 @@ class CorefModel:
     def _build_templates(self, use_repulsion: bool):
         # Both neighbourhoods depend on the current cluster values, so
         # the factor *set* changes under a proposal: dynamic=True makes
-        # the MH kernel re-instantiate factors after the change.
+        # the MH kernel re-instantiate factors after the change, and
+        # stable_features=False (the dynamic default, spelled out here)
+        # opts out of score memoization — factor instances are
+        # transient, so a memo would never be consulted twice.
         templates = [
             PairwiseTemplate(
                 AFFINITY,
@@ -194,6 +197,7 @@ class CorefModel:
                 self._same_cluster_neighbors,
                 self._affinity_features,
                 dynamic=True,
+                stable_features=False,
             )
         ]
         if use_repulsion:
@@ -204,6 +208,7 @@ class CorefModel:
                     self._cross_cluster_neighbors,
                     self._affinity_features,
                     dynamic=True,
+                    stable_features=False,
                 )
             )
         return templates

@@ -189,18 +189,28 @@ class SkipChainNerModel:
         return {("skip", "diff"): 1.0}
 
     def _build_templates(self):
+        # All four templates are static (the factor set is fixed by the
+        # corpus) and their features read only the endpoints' label
+        # values plus per-token constants, so stable_features=True lets
+        # every factor memoize (label values) -> score across the walk.
         templates = [
-            UnaryTemplate(EMISSION, self.weights, self._emission_features),
-            UnaryTemplate(BIAS, self.weights, self._bias_features),
+            UnaryTemplate(
+                EMISSION, self.weights, self._emission_features,
+                stable_features=True,
+            ),
+            UnaryTemplate(
+                BIAS, self.weights, self._bias_features, stable_features=True
+            ),
             PairwiseTemplate(
                 TRANSITION, self.weights, self._chain_neighbors,
-                self._transition_features,
+                self._transition_features, stable_features=True,
             ),
         ]
         if self.use_skip:
             templates.append(
                 PairwiseTemplate(
-                    SKIP, self.weights, self._skip_neighbors, self._skip_features
+                    SKIP, self.weights, self._skip_neighbors,
+                    self._skip_features, stable_features=True,
                 )
             )
         return templates

@@ -107,13 +107,30 @@ class SampleRankTrainer:
         objective_delta = self.objective.delta(changes)
         touched = list(changes)
 
-        features_before = self._collect_features(touched)
-        score_before = self.graph.local_score(touched)
-        saved = {variable: variable.value for variable in touched}
-        for variable, value in changes.items():
-            variable.set_value(value)
-        features_after = self._collect_features(touched)
-        score_after = self.graph.local_score(touched)
+        if self.graph.has_dynamic_templates:
+            # Structure may change with the proposal: re-instantiate the
+            # adjacent factor set on each side.
+            features_before = self._collect_features(touched)
+            score_before = self.graph.local_score(touched)
+            saved = {variable: variable.value for variable in touched}
+            for variable, value in changes.items():
+                variable.set_value(value)
+            features_after = self._collect_features(touched)
+            score_after = self.graph.local_score(touched)
+        else:
+            # Static structure: one (cached) adjacency fetch serves both
+            # worlds' features and scores.
+            if len(touched) == 1:
+                factors = self.graph.adjacent_static(touched[0])
+            else:
+                factors = list(self.graph.factors_touching(touched).values())
+            features_before = self._collect_from(factors)
+            score_before = sum(f.score() for f in factors)
+            saved = {variable: variable.value for variable in touched}
+            for variable, value in changes.items():
+                variable.set_value(value)
+            features_after = self._collect_from(factors)
+            score_after = sum(f.score() for f in factors)
         model_delta = score_after - score_before
 
         # Perceptron update toward the objective-preferred world.
@@ -152,8 +169,12 @@ class SampleRankTrainer:
         return model_delta >= 0 or math.log(self.rng.random()) < model_delta
 
     def _collect_features(self, touched) -> Dict[str, FeatureVector]:
+        return self._collect_from(self.graph.factors_touching(touched).values())
+
+    @staticmethod
+    def _collect_from(factors) -> Dict[str, FeatureVector]:
         collected: Dict[str, FeatureVector] = {}
-        for factor in self.graph.factors_touching(touched).values():
+        for factor in factors:
             features = factor.features()
             if not features:
                 continue

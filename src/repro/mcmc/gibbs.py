@@ -47,10 +47,22 @@ class GibbsSampler:
         rest, in domain order."""
         saved = variable.value
         scores: List[float] = []
+        graph = self.graph
         try:
-            for value in variable.domain:
-                variable.set_value(value)
-                scores.append(self.graph.local_score([variable]))
+            if graph.has_dynamic_templates:
+                # The adjacent factor set may change with the value:
+                # re-instantiate per candidate.
+                for value in variable.domain:
+                    variable.set_value(value)
+                    scores.append(graph.local_score([variable]))
+            else:
+                # Static structure: fetch the (cached) adjacent factors
+                # once and rescore them per candidate value — after the
+                # first sweep every factor score is a memo lookup.
+                factors = graph.adjacent_static(variable)
+                for value in variable.domain:
+                    variable.set_value(value)
+                    scores.append(sum(f.score() for f in factors))
         finally:
             variable.set_value(saved)
         peak = max(scores)

@@ -7,7 +7,10 @@ One :meth:`MetropolisHastings.step`:
    and after the change — the Appendix 9.2 cancellation makes this
    O(|touched|), independent of database size; structure-changing
    models score the union of both adjacent factor sets (see
-   :meth:`repro.fg.graph.FactorGraph.score_delta`);
+   :meth:`repro.fg.graph.FactorGraph.score_delta`).  For static models
+   the adjacent factor set comes from the graph's static adjacency
+   cache (pooled instances, memoized scores), so a steady-state walk
+   step allocates almost nothing;
 3. accept with probability ``min(1, pi(w')q(w|w') / pi(w)q(w'|w))``;
 4. on acceptance, flush changed :class:`~repro.fg.variables.FieldVariable`
    values through to the database, where attached delta recorders pick
