@@ -19,11 +19,33 @@ Two measurements:
    ``cpu_elapsed / wall_elapsed``; on a single-core box it degrades
    toward 1x while the pooled marginals stay bit-identical to the
    sequential run.
+
+3. **Data-parallel sharding** — the paper's other Fig. 5 axis: the
+   database is partitioned by document into K self-contained shards,
+   one factor graph + chain per shard, with each shard's thinning
+   interval scaled to ``k/K`` so the *total* MH walk effort (and the
+   per-token sampling effort) matches the unsharded chain.  Each shard
+   is then 1/K of the work.  Two speedups are reported:
+
+   * ``realized wall`` — what this machine observes running the K
+     worker processes concurrently; approaches K× only with ≥ K idle
+     cores (on a single-core box it stays near 1×);
+   * ``data-parallel (critical path)`` — unsharded compute seconds
+     divided by the *slowest shard's own* compute seconds (each worker
+     measures ``time.process_time``, which excludes time-slicing, so
+     this is the wall clock a K-machine deployment observes and is
+     hardware-independent).  This is the number the ≥ 2.5× acceptance
+     gate checks at K = 4.
+
+   ``shards=1`` is asserted bit-identical to the unsharded
+   MaterializedEvaluator — sharding is an exact decomposition, not an
+   approximation, once no factor spans shards.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -35,7 +57,8 @@ from repro.bench import (
     reference_marginals,
     scale_factor,
 )
-from repro.core import ParallelEvaluator, squared_error
+from repro.core import MaterializedEvaluator, ParallelEvaluator, ShardedEvaluator, squared_error
+from repro.db import Database
 
 NUM_TOKENS = 2_000
 STEPS_PER_SAMPLE = 200
@@ -46,6 +69,13 @@ SAMPLES_PER_CHAIN = 60
 BURN_IN = 120
 MAX_CHAINS = 8
 SPEEDUP_CHAINS = 4
+
+# Sharded series: equal total walk effort at every K (steps per sample
+# scale as 1/K), enough samples that per-shard compute dominates timer
+# resolution.
+SHARD_SERIES = (1, 2, 4)
+SHARD_SAMPLES = 200
+SHARD_TARGET_SPEEDUP = 2.5
 
 
 @pytest.mark.benchmark(group="fig5")
@@ -151,3 +181,153 @@ def test_fig5_process_backend_speedup(benchmark):
     # sequential process cannot burn more CPU seconds than wall seconds.
     seq = rows["sequential"]
     assert 0 < seq["cpu"] <= seq["wall"] * 1.05
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_sharded_data_parallel(benchmark):
+    """Data-parallel sharding: K document shards, equal total walk
+    effort, shards=1 bit-identical to unsharded, and >= 2.5x
+    critical-path speedup at K=4 on the process backend."""
+
+    def experiment():
+        task = make_task(
+            NUM_TOKENS * scale_factor(), steps_per_sample=STEPS_PER_SAMPLE
+        )
+        rows = {}
+
+        # Unsharded baseline: the exact chain shards=1 will rebuild
+        # (same factory, same derived seed), driven in-process.
+        factory = task.shard_chain_factory()
+        with ShardedEvaluator(
+            task._initial,
+            factory,
+            [QUERY1],
+            1,
+            base_seed=500,
+            backend="process",
+        ) as single:
+            seed = single.unit_seeds[0]
+            db = Database.from_snapshot(task._snapshot, "fig5-unsharded")
+            evaluator = MaterializedEvaluator(db, factory(db, seed), [QUERY1])
+            wall_started = time.perf_counter()
+            cpu_started = time.process_time()
+            unsharded = evaluator.run(SHARD_SAMPLES)
+            unsharded_cpu = time.process_time() - cpu_started
+            unsharded_wall = time.perf_counter() - wall_started
+            evaluator.detach()
+            rows["unsharded"] = {
+                "wall": unsharded_wall,
+                "cpu": unsharded_cpu,
+                "critical": unsharded_cpu,
+                "marginals": unsharded.marginals.probabilities(),
+            }
+
+            sharded_one = single.run(SHARD_SAMPLES)
+            rows[1] = {
+                "wall": sharded_one.wall_elapsed,
+                "cpu": sharded_one.cpu_elapsed,
+                "critical": max(
+                    r.cpu_elapsed for r in single.shard_results
+                ),
+                "marginals": sharded_one.marginals.probabilities(),
+            }
+
+        for num_shards in SHARD_SERIES[1:]:
+            # 1/K of the walk per shard: total effort (and per-token
+            # sampling effort) matches the unsharded run.
+            scaled = task.shard_chain_factory(
+                steps_per_sample=STEPS_PER_SAMPLE // num_shards
+            )
+            with ShardedEvaluator(
+                task._initial,
+                scaled,
+                [QUERY1],
+                num_shards,
+                base_seed=500,
+                backend="process",
+            ) as sharded:
+                result = sharded.run(SHARD_SAMPLES)
+                rows[num_shards] = {
+                    "wall": result.wall_elapsed,
+                    "cpu": result.cpu_elapsed,
+                    "critical": max(
+                        r.cpu_elapsed for r in sharded.shard_results
+                    ),
+                    "marginals": result.marginals.probabilities(),
+                }
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # Like-for-like baseline: the shards=1 critical path is the same
+    # chain measured by the same apparatus (a worker's own
+    # process_time), so speedups aren't flattered by comparing a
+    # heap-warmed parent process against fresh workers.  The in-parent
+    # unsharded row stays in the table as the bit-identity anchor.
+    base_cpu = rows[1]["critical"]
+    base_wall = rows["unsharded"]["wall"]
+    print_header(
+        f"Figure 5 data-parallel sharding: {SHARD_SAMPLES} samples, equal "
+        f"total walk effort, {os.cpu_count()} CPUs available"
+    )
+    print_table(
+        [
+            "series",
+            "wall (s)",
+            "total CPU (s)",
+            "critical path (s)",
+            "data-parallel speedup",
+            "realized wall speedup",
+        ],
+        [
+            (
+                name if isinstance(name, str) else f"shards={name}",
+                f"{d['wall']:.2f}",
+                f"{d['cpu']:.2f}",
+                f"{d['critical']:.2f}",
+                f"{base_cpu / d['critical']:.2f}x",
+                f"{base_wall / d['wall']:.2f}x",
+            )
+            for name, d in rows.items()
+        ],
+    )
+    print(
+        "critical path = slowest shard's own process_time: the wall a "
+        "K-machine deployment observes.  Realized wall speedup needs >= K "
+        "idle cores to approach it."
+    )
+
+    speedups = {
+        k: base_cpu / rows[k]["critical"] for k in SHARD_SERIES
+    }
+    benchmark.extra_info["num_cpus"] = os.cpu_count()
+    benchmark.extra_info["samples"] = SHARD_SAMPLES
+    benchmark.extra_info["series"] = {
+        str(name): {
+            "wall_seconds": d["wall"],
+            "total_cpu_seconds": d["cpu"],
+            "critical_path_seconds": d["critical"],
+        }
+        for name, d in rows.items()
+    }
+    benchmark.extra_info["data_parallel_speedup"] = {
+        str(k): speedups[k] for k in SHARD_SERIES
+    }
+    benchmark.extra_info["realized_wall_speedup"] = {
+        str(k): base_wall / rows[k]["wall"] for k in SHARD_SERIES
+    }
+    benchmark.extra_info["shards1_bit_identical"] = (
+        rows[1]["marginals"] == rows["unsharded"]["marginals"]
+    )
+
+    # Exactness: shards=1 rebuilds the very same chain — byte-identical
+    # marginals, no tolerance.
+    assert rows[1]["marginals"] == rows["unsharded"]["marginals"]
+    # The acceptance gate: 4-way sharding must cut the critical path by
+    # >= 2.5x (hardware-independent: per-shard compute seconds).
+    assert speedups[4] >= SHARD_TARGET_SPEEDUP, (
+        f"shards=4 data-parallel speedup {speedups[4]:.2f}x < "
+        f"{SHARD_TARGET_SPEEDUP}x"
+    )
+    # More shards never increase the critical path.
+    assert rows[4]["critical"] <= rows[2]["critical"] * 1.1

@@ -52,7 +52,9 @@ from repro.core.backends import make_backend, validate_backend_name
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
 from repro.core.materialized import MaterializedEvaluator
 from repro.core.naive import NaiveEvaluator
+from repro.core.sharded import ShardChainFactory, ShardedEvaluator
 from repro.db.database import Database
+from repro.db.shard import Partitioner
 from repro.db.ra.ast import PlanNode
 from repro.db.ra.eval import evaluate_rows
 from repro.db.sql.ast import SelectStmt, Statement
@@ -145,6 +147,61 @@ class _ParallelRunner:
         self.backend.close()
 
 
+class _ShardedRunner:
+    """Drives K database shards × M chains through a persistent
+    :class:`~repro.core.sharded.ShardedEvaluator` (the data-parallel
+    axis of the paper's Fig. 5).  Like :class:`_ParallelRunner`, the
+    evaluator — and under ``backend="process"`` its K×M worker
+    processes — stays alive across ``run()`` calls so anytime
+    refinement continues the same per-shard chains."""
+
+    def __init__(
+        self,
+        database: Database,
+        shard_factory: ShardChainFactory,
+        sql: str,
+        plan: PlanNode,
+        shards: int,
+        chains: int,
+        backend: str,
+        evaluator_cls: type = MaterializedEvaluator,
+        partitioner: Optional[Partitioner] = None,
+        validate_graph: Any = None,
+    ):
+        # In-process units reuse the compiled plan; worker processes
+        # receive the SQL text and compile against their own shard copy
+        # (plans are not part of the pickled snapshot contract).
+        query = plan if backend == "sequential" else sql
+        self.evaluator = ShardedEvaluator(
+            database,
+            shard_factory,
+            [query],
+            shards,
+            partitioner=partitioner,
+            chains=chains,
+            backend=backend,
+            evaluator_cls=evaluator_cls,
+            validate_graph=validate_graph,
+        )
+        self._first = True
+
+    @property
+    def backend(self):
+        """The underlying chain backend (exposed so Session.execute's
+        crash eviction treats sharded and parallel runners alike)."""
+        return self.evaluator.backend
+
+    def run(self, samples: int, burn_in: int = 0) -> EvaluationResult:
+        include_initial = self._first
+        self._first = False
+        return self.evaluator.run(
+            samples, burn_in=burn_in, include_initial=include_initial
+        )
+
+    def dispose(self) -> None:
+        self.evaluator.close()
+
+
 def _dispose_runner(runner: Any) -> None:
     """Release a runner's resources (delta recorders in-process, worker
     processes for the multiprocess backend)."""
@@ -176,6 +233,7 @@ class Session:
         self._model: Any = None
         self._chain: Optional[MarkovChain] = None
         self._chain_factory: Optional[ChainFactory] = None
+        self._shard_factory: Optional[ShardChainFactory] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -208,6 +266,7 @@ class Session:
         *,
         chain: Optional[MarkovChain] = None,
         chain_factory: Optional[ChainFactory] = None,
+        shard_factory: Optional[ShardChainFactory] = None,
     ) -> "Session":
         """Register the generative side of the probabilistic database.
 
@@ -217,7 +276,10 @@ class Session:
         must mutate *this* session's database.  ``chain_factory`` —
         ``factory(i) -> (db_copy, chain)`` — additionally enables
         ``evaluator="parallel"`` execution over independent world
-        copies.
+        copies.  ``shard_factory`` — ``factory(shard_db, seed) ->
+        chain``, typically ``task.shard_chain_factory()`` — enables
+        ``execute(..., shards=K)``: data-parallel evaluation over K
+        database shards along the factory's declared shard key.
 
         Returns ``self`` so the call chains off :func:`connect`.
         """
@@ -226,10 +288,10 @@ class Session:
             model, chain = None, model
         if chain is None and model is not None:
             chain = getattr(model, "chain", None)
-        if chain is None and chain_factory is None:
+        if chain is None and chain_factory is None and shard_factory is None:
             raise EvaluationError(
-                "attach_model() needs a chain (or an object with a .chain) "
-                "or a chain_factory"
+                "attach_model() needs a chain (or an object with a .chain), "
+                "a chain_factory, or a shard_factory"
             )
         model_db = getattr(model, "db", None)
         if chain is not None and model_db is not None and model_db is not self.database:
@@ -242,7 +304,10 @@ class Session:
             self._drop_runners(parallel=False)
         if chain_factory is not None and chain_factory is not self._chain_factory:
             self._chain_factory = chain_factory
-            self._drop_runners(parallel=True)
+            self._drop_runners(kinds=("parallel",))
+        if shard_factory is not None and shard_factory is not self._shard_factory:
+            self._shard_factory = shard_factory
+            self._drop_runners(kinds=("sharded",))
         if model is not None:
             self._model = model
         return self
@@ -252,8 +317,33 @@ class Session:
         """The attached model object (``None`` until attach_model)."""
         return self._model
 
-    def _drop_runners(self, parallel: bool) -> None:
-        for key in [k for k in self._runners if (k[1] == "parallel") == parallel]:
+    def _evict_if_dead(self, runner_key: tuple) -> Any:
+        """The cached runner for ``runner_key``, evicting it first when
+        its backend has closed (a worker crash or timeout mid-refine
+        leaves a dead runner in the cache; re-executing the same SQL
+        must rebuild fresh chains rather than raise 'backend is
+        closed')."""
+        runner = self._runners.get(runner_key)
+        if runner is None:
+            return None
+        backend = getattr(runner, "backend", None)
+        if backend is not None and backend.closed:
+            _dispose_runner(self._runners.pop(runner_key))
+            return None
+        return runner
+
+    def _drop_runners(
+        self, parallel: bool | None = None, kinds: tuple[str, ...] | None = None
+    ) -> None:
+        """Dispose cached runners by kind.  ``parallel=False`` keeps the
+        historical meaning: everything that is *not* multi-world
+        (single-chain runners)."""
+        if kinds is None:
+            multi = ("parallel", "sharded")
+            kinds = multi if parallel else tuple(
+                k[1] for k in self._runners if k[1] not in multi
+            )
+        for key in [k for k in self._runners if k[1] in kinds]:
             _dispose_runner(self._runners.pop(key))
 
     # ------------------------------------------------------------------
@@ -296,6 +386,8 @@ class Session:
         chains: int = 1,
         burn_in: int = 0,
         backend: str = "sequential",
+        shards: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
     ) -> Cursor:
         """Execute one SQL statement and return its cursor.
 
@@ -310,11 +402,28 @@ class Session:
         chains execute: ``"sequential"`` in-process, or ``"process"``
         with one worker process per chain for real wall-clock speedup
         (identical pooled marginals either way for fixed seeds —
-        see :mod:`repro.core.backends`).  Re-executing the same SQL
-        reuses the cached plan and, for probabilistic queries,
-        continues the cached runner — in-process chains and worker
-        processes alike — so marginals accumulate across calls exactly
-        like :meth:`AnytimeCursor.refine`.
+        see :mod:`repro.core.backends`).
+
+        ``shards=K`` adds the *data-parallel* axis: the database is
+        partitioned into K self-contained sub-databases along the
+        attached ``shard_factory``'s shard key (``partitioner``
+        overrides the factory's default split; runners are cached by
+        the partitioner's content fingerprint, so re-creating an
+        equivalent partitioner per call still continues the cached
+        shard chains), one factor graph + chain per shard, K ×
+        ``chains`` workers in total, with per-shard marginals
+        union-merged into the global answer.  Sharding is exact, not an
+        approximation: ``shards=1`` is bit-identical to an unsharded
+        :class:`MaterializedEvaluator` built from the same shard
+        factory and the runner's derived seed (the sharded runner seeds
+        its own chains, so it does not reproduce the chain attached for
+        plain ``samples=N`` execution — different, equally valid,
+        streams).
+
+        Re-executing the same SQL reuses the cached plan and, for
+        probabilistic queries, continues the cached runner — in-process
+        chains and worker processes alike — so marginals accumulate
+        across calls exactly like :meth:`AnytimeCursor.refine`.
         """
         self._check_open()
         key, kind, payload = self._route(sql)
@@ -337,7 +446,9 @@ class Session:
                 rows=evaluate_rows(plan, self.database),
                 columns=columns,
             )
-        runner = self._prepare_routed(key, sql, plan, evaluator, chains, backend)
+        runner = self._prepare_routed(
+            key, sql, plan, evaluator, chains, backend, shards, partitioner
+        )
         try:
             result = runner.run(samples, burn_in=burn_in)
         except Exception:
@@ -346,9 +457,10 @@ class Session:
             # fresh chains instead of hitting "backend is closed".
             backend_obj = getattr(runner, "backend", None)
             if backend_obj is not None and backend_obj.closed:
-                self._runners = {
-                    k: r for k, r in self._runners.items() if r is not runner
-                }
+                for stale in [
+                    k for k, r in self._runners.items() if r is runner
+                ]:
+                    _dispose_runner(self._runners.pop(stale))
             raise
         columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
         return AnytimeCursor(runner=runner, result=result, columns=columns)
@@ -382,6 +494,8 @@ class Session:
         evaluator: str = "materialized",
         chains: int = 1,
         backend: str = "sequential",
+        shards: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
     ):
         """The (cached) probabilistic runner for ``sql``.
 
@@ -392,7 +506,9 @@ class Session:
         key, kind, plan = self._route(sql)
         if kind != "query":
             raise QueryError(f"only SELECT can be evaluated probabilistically ({kind})")
-        return self._prepare_routed(key, sql, plan, evaluator, chains, backend)
+        return self._prepare_routed(
+            key, sql, plan, evaluator, chains, backend, shards, partitioner
+        )
 
     def _prepare_routed(
         self,
@@ -402,6 +518,8 @@ class Session:
         evaluator: str,
         chains: int,
         backend: str = "sequential",
+        shards: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
     ):
         validate_backend_name(backend)
         evaluator_cls = _EVALUATOR_CLASSES.get(evaluator, MaterializedEvaluator)
@@ -410,6 +528,51 @@ class Session:
                 f"unknown evaluator kind {evaluator!r} "
                 f"(expected one of {sorted(_EVALUATOR_CLASSES)} or 'parallel')"
             )
+        if shards is not None:
+            if self._shard_factory is None:
+                raise EvaluationError(
+                    "sharded evaluation needs a shard_factory; pass one to "
+                    "attach_model() (e.g. task.shard_chain_factory())"
+                )
+            runner_key = (
+                key,
+                "sharded",
+                shards,
+                chains,
+                backend,
+                evaluator_cls.__name__,
+                # Content fingerprint, not object identity: rebuilding
+                # an equivalent partitioner (the documented
+                # `partitioner=pipeline.shard_partitioner(2)` idiom)
+                # continues the cached chains; a genuinely different
+                # split gets its own runner without touching runners
+                # earlier cursors still hold.
+                partitioner.fingerprint() if partitioner is not None else None,
+            )
+            runner = self._evict_if_dead(runner_key)
+            if runner is None:
+                # The attached model's full-database factor graph, when
+                # there is one, gates the split: a factor spanning two
+                # shards raises ShardingError before any worker starts.
+                graph = getattr(self._model, "graph", None)
+                if graph is None:
+                    graph = getattr(
+                        getattr(self._model, "model", None), "graph", None
+                    )
+                runner = _ShardedRunner(
+                    self.database,
+                    self._shard_factory,
+                    sql,
+                    plan,
+                    shards,
+                    chains,
+                    backend,
+                    evaluator_cls,
+                    partitioner=partitioner,
+                    validate_graph=graph,
+                )
+                self._runners[runner_key] = runner
+            return runner
         # Multi-chain execution is requested explicitly (evaluator
         # "parallel"), by asking for more than one chain, or by naming
         # a non-default backend.
@@ -422,7 +585,7 @@ class Session:
             if chains < 1:
                 raise EvaluationError("need at least one chain")
             runner_key = (key, "parallel", chains, backend, evaluator_cls.__name__)
-            runner = self._runners.get(runner_key)
+            runner = self._evict_if_dead(runner_key)
             if runner is None:
                 runner = _ParallelRunner(
                     self._chain_factory, sql, plan, chains, backend, evaluator_cls

@@ -8,6 +8,8 @@ membership (Eq. 5):
 * :class:`MaterializedEvaluator` — Algorithm 1: one full query, then
   incremental view maintenance per sample;
 * :class:`ParallelEvaluator` — §5.4: pooled independent chains;
+* :class:`ShardedEvaluator` — §5.4's data-parallel axis: one factor
+  graph + chain per database shard, union-merged marginals;
 * :class:`MarginalEstimator`, :class:`LossTrace`, metrics — the
   measurement apparatus of §5.
 """
@@ -32,6 +34,12 @@ from repro.core.metrics import (
 )
 from repro.core.naive import NaiveEvaluator
 from repro.core.parallel import ChainFactory, ParallelEvaluator
+from repro.core.sharded import (
+    ShardChainFactory,
+    ShardedEvaluator,
+    merge_shard_estimators,
+    validate_shardable_graph,
+)
 
 __all__ = [
     "BACKENDS",
@@ -47,7 +55,11 @@ __all__ = [
     "NaiveEvaluator",
     "ParallelEvaluator",
     "QueryEvaluator",
+    "ShardChainFactory",
+    "ShardedEvaluator",
     "estimate_ground_truth",
+    "merge_shard_estimators",
+    "validate_shardable_graph",
     "normalize_series",
     "squared_error",
     "time_to_fraction",

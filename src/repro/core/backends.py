@@ -50,6 +50,7 @@ from repro.core.materialized import MaterializedEvaluator
 
 __all__ = [
     "BACKENDS",
+    "pool_estimators",
     "ChainBackend",
     "ProcessPoolBackend",
     "SequentialBackend",
@@ -78,9 +79,12 @@ def default_worker_timeout() -> float | None:
 ChainFactory = Callable[[int], Tuple[Database, MarkovChain]]
 
 
-def _pool(per_chain: Sequence[List[MarginalEstimator]]) -> List[MarginalEstimator]:
+def pool_estimators(
+    per_chain: Sequence[List[MarginalEstimator]],
+) -> List[MarginalEstimator]:
     """Merge per-chain estimator lists (the paper's cross-chain
-    averaging: counts and sample totals add)."""
+    averaging: counts and sample totals add).  Shared by the chain
+    backends and by ShardedEvaluator's within-shard pooling."""
     merged = [MarginalEstimator() for _ in per_chain[0]]
     for estimators in per_chain:
         for target, source in zip(merged, estimators):
@@ -214,7 +218,7 @@ class SequentialBackend(ChainBackend):
                 )
             )
         wall = time.perf_counter() - started
-        return EvaluationResult(_pool(per_chain), wall, cpu)
+        return EvaluationResult(pool_estimators(per_chain), wall, cpu)
 
     def close(self) -> None:
         for evaluator in self._evaluators:
@@ -384,7 +388,7 @@ class ProcessPoolBackend(ChainBackend):
                 EvaluationResult(estimators, worker.cpu_total, worker.cpu_total)
             )
         wall = time.perf_counter() - started
-        return EvaluationResult(_pool(per_chain), wall, cpu)
+        return EvaluationResult(pool_estimators(per_chain), wall, cpu)
 
     def _receive(self, worker: _WorkerHandle):
         deadline = (
@@ -401,7 +405,11 @@ class ProcessPoolBackend(ChainBackend):
             if worker.conn.poll(0.2):
                 try:
                     return worker.conn.recv()
-                except EOFError:
+                # EOFError on orderly close; OSError (e.g.
+                # ConnectionResetError) when the worker was killed with
+                # the pipe mid-write.  Either way the backend must shut
+                # down fully or the surviving workers leak.
+                except (EOFError, OSError):
                     self.close()
                     raise EvaluationError(
                         f"chain worker {worker.index} exited unexpectedly"
@@ -411,7 +419,7 @@ class ProcessPoolBackend(ChainBackend):
                 if worker.conn.poll(0):
                     try:
                         return worker.conn.recv()
-                    except EOFError:
+                    except (EOFError, OSError):
                         pass
                 self.close()
                 raise EvaluationError(

@@ -105,6 +105,27 @@ class MarginalEstimator:
             out[key] = out.get(key, 0.0) + count / self._samples
         return out
 
+    def counts(self) -> Dict[Row, int]:
+        """A copy of the raw per-tuple sample counts (``m`` of
+        Algorithm 1) — the merge input for sharded evaluation."""
+        return dict(self._counts)
+
+    @classmethod
+    def from_counts(
+        cls, counts: Dict[Row, Any], samples: int
+    ) -> "MarginalEstimator":
+        """Rebuild an estimator from explicit counts and normalizer.
+
+        Used by the sharded merge, whose cross-shard union combine can
+        produce fractional effective counts (``z * (1 - Π(1 - p_k))``).
+        """
+        if samples < 0:
+            raise EvaluationError("sample count must be non-negative")
+        out = cls()
+        out._counts = dict(counts)
+        out._samples = samples
+        return out
+
     def copy(self) -> "MarginalEstimator":
         out = MarginalEstimator()
         out._counts = dict(self._counts)

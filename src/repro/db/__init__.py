@@ -29,6 +29,13 @@ from repro.db.multiset import Multiset
 from repro.db.ra.ast import PlanNode
 from repro.db.ra.eval import evaluate, evaluate_rows
 from repro.db.schema import Attribute, Schema
+from repro.db.shard import (
+    HashPartitioner,
+    KeyListPartitioner,
+    Partitioner,
+    ShardSpec,
+    ShardedDatabase,
+)
 from repro.db.sql.compiler import plan_query
 from repro.db.storage import load_database, save_database
 from repro.db.table import Table
@@ -42,10 +49,15 @@ __all__ = [
     "Delta",
     "DeltaRecorder",
     "HashIndex",
+    "HashPartitioner",
+    "KeyListPartitioner",
     "MaterializedView",
     "Multiset",
+    "Partitioner",
     "PlanNode",
     "Schema",
+    "ShardSpec",
+    "ShardedDatabase",
     "Snapshot",
     "Table",
     "evaluate",

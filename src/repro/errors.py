@@ -56,3 +56,9 @@ class InferenceError(ReproError):
 
 class EvaluationError(ReproError):
     """Query evaluation over the probabilistic database failed."""
+
+
+class ShardingError(ReproError):
+    """A database could not be partitioned into independent shards
+    (missing shard key, unassigned key value, a factor spanning shards,
+    or a query whose answer does not distribute over the shards)."""

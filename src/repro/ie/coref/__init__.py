@@ -10,16 +10,22 @@ from repro.ie.coref.mentions import Mention, generate_mentions
 from repro.ie.coref.model import CorefModel, default_coref_weights, pairwise_f1
 from repro.ie.coref.pdb import (
     COREF_PAIR_QUERY,
+    COREF_SHARD_SPEC,
     MENTION_SCHEMA,
     CorefPipeline,
+    CorefShardChainFactory,
     build_mention_database,
+    mention_block_partitioner,
+    mention_blocks,
 )
 from repro.ie.coref.proposals import MoveMentionProposer, SplitMergeProposer
 
 __all__ = [
     "COREF_PAIR_QUERY",
+    "COREF_SHARD_SPEC",
     "CorefModel",
     "CorefPipeline",
+    "CorefShardChainFactory",
     "MENTION_SCHEMA",
     "Mention",
     "MoveMentionProposer",
@@ -27,5 +33,7 @@ __all__ = [
     "build_mention_database",
     "default_coref_weights",
     "generate_mentions",
+    "mention_block_partitioner",
+    "mention_blocks",
     "pairwise_f1",
 ]

@@ -26,9 +26,11 @@ from repro.ie.ner.labels import (
 )
 from repro.ie.ner.model import SkipChainNerModel, fit_generative_weights
 from repro.ie.ner.pdb import (
+    NER_SHARD_SPEC,
     TOKEN_SCHEMA,
     NerInstance,
     NerPipeline,
+    NerShardChainFactory,
     NerTask,
     build_token_database,
 )
@@ -41,8 +43,10 @@ __all__ = [
     "ENTITY_TYPES",
     "LABELS",
     "LABEL_DOMAIN",
+    "NER_SHARD_SPEC",
     "NerInstance",
     "NerPipeline",
+    "NerShardChainFactory",
     "NerTask",
     "OUTSIDE",
     "SkipChainNerModel",

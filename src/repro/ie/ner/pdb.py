@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.api.session import connect
 from repro.db.database import Database
 from repro.db.schema import Schema
+from repro.db.shard import ShardSpec
 from repro.db.types import AttrType
 from repro.errors import EvaluationError
 from repro.learn.objective import HammingObjective
@@ -33,13 +34,21 @@ from repro.ie.ner.model import SkipChainNerModel, fit_generative_weights
 from repro.fg.weights import Weights
 
 __all__ = [
+    "NER_SHARD_SPEC",
     "TOKEN_SCHEMA",
     "build_token_database",
     "NerTask",
     "NerInstance",
     "NerPipeline",
+    "NerShardChainFactory",
     "SeededChainFactory",
 ]
+
+# The NER workload's natural shard key: every template of the
+# skip-chain CRF (emission, bias, transition, skip) relates tokens
+# *within one document only*, so partitioning TOKEN by DOC_ID never
+# splits a factor — documents are the paper's unit of data parallelism.
+NER_SHARD_SPEC = ShardSpec("TOKEN", "DOC_ID")
 
 TOKEN_SCHEMA = Schema.build(
     "TOKEN",
@@ -201,6 +210,34 @@ class NerTask:
         seeds from ``base_seed`` (for ParallelEvaluator / ground truth)."""
         return SeededChainFactory(self, base_seed)
 
+    def shard_spec(self) -> ShardSpec:
+        """The workload's natural shard key (documents)."""
+        return NER_SHARD_SPEC
+
+    def shard_chain_factory(
+        self, steps_per_sample: int | None = None
+    ) -> "NerShardChainFactory":
+        """A :data:`repro.core.sharded.ShardChainFactory` building this
+        task's model over one shard's TOKEN relation.
+
+        ``steps_per_sample`` overrides the task's thinning interval —
+        data-parallel runs scale it by ``1/K`` so per-token sampling
+        effort (and hence estimate quality) matches the unsharded chain
+        while each shard does only its share of the walk.
+        """
+        return NerShardChainFactory(
+            self.weights,
+            steps_per_sample=(
+                self.steps_per_sample
+                if steps_per_sample is None
+                else steps_per_sample
+            ),
+            use_skip=self.use_skip,
+            batch_size=self.batch_size,
+            proposals_per_batch=self.proposals_per_batch,
+            scheduled=self.scheduled,
+        )
+
 
 class SeededChainFactory:
     """A picklable :data:`~repro.core.parallel.ChainFactory` over a task.
@@ -223,6 +260,50 @@ class SeededChainFactory:
         return instance.db, instance.chain
 
 
+class NerShardChainFactory:
+    """A picklable :data:`~repro.core.sharded.ShardChainFactory` for the
+    skip-chain NER model.
+
+    Carries only the learned weights and sampler knobs (not the corpus
+    — each call receives an already-sliced shard database), so shipping
+    it to worker processes costs O(weights), and
+    ``factory(shard_db, seed)`` builds exactly the chain
+    :class:`NerInstance` would: ``shards=1`` is therefore bit-identical
+    to unsharded evaluation for the same seed.
+    """
+
+    spec = NER_SHARD_SPEC
+
+    def __init__(
+        self,
+        weights: Weights,
+        steps_per_sample: int,
+        use_skip: bool = True,
+        batch_size: int = 5,
+        proposals_per_batch: int = 2000,
+        scheduled: bool = True,
+    ):
+        self.weights = weights
+        self.steps_per_sample = steps_per_sample
+        self.use_skip = use_skip
+        self.batch_size = batch_size
+        self.proposals_per_batch = proposals_per_batch
+        self.scheduled = scheduled
+
+    def __call__(self, db: Database, seed: int) -> MarkovChain:
+        instance = NerInstance(
+            db,
+            self.weights,
+            seed,
+            self.steps_per_sample,
+            use_skip=self.use_skip,
+            batch_size=self.batch_size,
+            proposals_per_batch=self.proposals_per_batch,
+            scheduled=self.scheduled,
+        )
+        return instance.chain
+
+
 class NerPipeline:
     """Convenience facade: one task, one instance, one session.
 
@@ -238,7 +319,9 @@ class NerPipeline:
         self.task = task
         self.instance = task.make_instance(chain_seed)
         self.session = connect(self.instance.db).attach_model(
-            self.instance, chain_factory=task.chain_factory()
+            self.instance,
+            chain_factory=task.chain_factory(),
+            shard_factory=task.shard_chain_factory(),
         )
 
     # ------------------------------------------------------------------

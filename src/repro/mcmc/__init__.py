@@ -9,7 +9,9 @@ clustering moves for entity resolution, and convergence diagnostics.
 from repro.mcmc.adaptive import AdaptiveChain
 from repro.mcmc.chain import MarkovChain
 from repro.mcmc.diagnostics import (
+    GofResult,
     autocorrelation,
+    chi_square_gof,
     effective_sample_size,
     gelman_rubin,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "UniformLabelProposer",
     "autocorrelation",
     "effective_sample_size",
+    "GofResult",
+    "chi_square_gof",
     "gelman_rubin",
     "relevant_variables",
 ]

@@ -6,17 +6,32 @@ diagnostics so users can judge mixing quantitatively:
 * :func:`autocorrelation` / :func:`effective_sample_size` for a single
   scalar trace;
 * :func:`gelman_rubin` (potential scale reduction, R̂) across parallel
-  chains — directly relevant to the parallelization experiment (§5.4).
+  chains — directly relevant to the parallelization experiment (§5.4);
+* :func:`chi_square_gof` — Pearson goodness-of-fit of empirical sample
+  counts against an exact reference distribution (the statistical
+  correctness tests compare kernels against
+  :meth:`~repro.fg.graph.FactorGraph.exact_distribution` this way).
+
+Everything is standard library only (the chi-square tail probability
+comes from the regularized incomplete gamma function, computed here),
+matching the package's no-dependency design.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Sequence
 
 from repro.errors import InferenceError
 
-__all__ = ["autocorrelation", "effective_sample_size", "gelman_rubin"]
+__all__ = [
+    "GofResult",
+    "autocorrelation",
+    "chi_square_gof",
+    "effective_sample_size",
+    "gelman_rubin",
+]
 
 
 def autocorrelation(trace: Sequence[float], lag: int) -> float:
@@ -51,6 +66,131 @@ def effective_sample_size(trace: Sequence[float], max_lag: int | None = None) ->
             break
         rho_sum += rho
     return n / (1.0 + 2.0 * rho_sum)
+
+
+def _regularized_gamma_q(a: float, x: float) -> float:
+    """``Q(a, x) = Γ(a, x) / Γ(a)`` — the upper regularized incomplete
+    gamma function, via the classic series / continued-fraction split
+    (series for ``x < a + 1``, modified-Lentz continued fraction
+    otherwise).  ``Q(df/2, x/2)`` is the chi-square survival function.
+    """
+    if a <= 0.0:
+        raise InferenceError(f"gamma parameter must be positive, got {a}")
+    if x < 0.0:
+        raise InferenceError(f"gamma argument must be non-negative, got {x}")
+    if x == 0.0:
+        return 1.0
+    log_prefix = -x + a * math.log(x) - math.lgamma(a)
+    if x < a + 1.0:
+        # Series for P(a, x); Q = 1 - P.
+        term = 1.0 / a
+        total = term
+        denominator = a
+        for _ in range(1000):
+            denominator += 1.0
+            term *= x / denominator
+            total += term
+            if abs(term) < abs(total) * 1e-16:
+                break
+        return max(0.0, 1.0 - total * math.exp(log_prefix))
+    # Continued fraction for Q(a, x) (modified Lentz).
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b if b != 0.0 else 1.0 / tiny
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-16:
+            break
+    return min(1.0, max(0.0, h * math.exp(log_prefix)))
+
+
+@dataclass(frozen=True)
+class GofResult:
+    """Outcome of a Pearson chi-square goodness-of-fit test."""
+
+    statistic: float
+    df: int
+    p_value: float
+
+    def rejects(self, alpha: float = 0.01) -> bool:
+        """Whether the fit is rejected at significance ``alpha``."""
+        return self.p_value < alpha
+
+
+def chi_square_gof(
+    observed: Mapping[Any, int],
+    expected: Mapping[Any, float],
+    min_expected: float = 5.0,
+) -> GofResult:
+    """Pearson chi-square test of observed category counts against an
+    exact probability distribution.
+
+    ``observed`` maps categories to sample counts, ``expected`` to
+    reference probabilities (must sum to ~1 and cover every observed
+    category).  Categories whose expected count falls below
+    ``min_expected`` are pooled into one bin — the standard validity
+    fix for sparse tails.  Degrees of freedom are ``#bins - 1``.
+    """
+    total = sum(observed.values())
+    if total <= 0:
+        raise InferenceError("chi-square needs at least one observation")
+    if any(count < 0 for count in observed.values()):
+        raise InferenceError("observed counts must be non-negative")
+    mass = sum(expected.values())
+    if not math.isclose(mass, 1.0, rel_tol=1e-6, abs_tol=1e-6):
+        raise InferenceError(
+            f"expected probabilities must sum to 1 (got {mass:.6f})"
+        )
+    stray = [c for c in observed if c not in expected and observed[c] > 0]
+    if stray:
+        raise InferenceError(
+            f"observed categories missing from the expected distribution: "
+            f"{stray[:5]!r}"
+        )
+    # Samples in a category the reference assigns probability 0 are an
+    # outright contradiction (true Pearson statistic is infinite); the
+    # pooling below must not let them vanish into a zero-mass bin.
+    impossible = [
+        c for c, count in observed.items() if count > 0 and expected[c] <= 0.0
+    ]
+    if impossible:
+        bins = sum(1 for p in expected.values() if p > 0.0) + 1
+        return GofResult(math.inf, max(1, bins - 1), 0.0)
+    main_stat = 0.0
+    pooled_observed = 0.0
+    pooled_expected = 0.0
+    bins = 0
+    for category, probability in expected.items():
+        expected_count = probability * total
+        observed_count = observed.get(category, 0)
+        if expected_count < min_expected:
+            pooled_observed += observed_count
+            pooled_expected += expected_count
+            continue
+        bins += 1
+        main_stat += (observed_count - expected_count) ** 2 / expected_count
+    if pooled_expected > 0.0:
+        bins += 1
+        main_stat += (pooled_observed - pooled_expected) ** 2 / pooled_expected
+    if bins < 2:
+        raise InferenceError(
+            "chi-square needs at least two bins with sufficient expected "
+            "mass; lower min_expected or collect more samples"
+        )
+    df = bins - 1
+    return GofResult(main_stat, df, _regularized_gamma_q(df / 2.0, main_stat / 2.0))
 
 
 def gelman_rubin(chains: List[Sequence[float]]) -> float:

@@ -1,0 +1,261 @@
+"""Session surface of sharded evaluation, and worker-process hygiene.
+
+The leak regression: after a sharded ``execute`` raises mid-run (a
+chain worker died), and after ``Session.close()``, **no** worker
+process may remain alive — and re-executing the same SQL must rebuild
+fresh chains instead of failing on the dead cached runner.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import EvaluationError, ShardingError
+from repro.ie.ner import NerPipeline
+
+QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+
+
+def small_pipeline(seed=0):
+    return NerPipeline.build(300, seed=seed, steps_per_sample=20)
+
+
+def sharded_runner(session):
+    runners = [
+        runner
+        for key, runner in session._runners.items()
+        if key[1] == "sharded"
+    ]
+    assert len(runners) == 1
+    return runners[0]
+
+
+def assert_all_dead(pids, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    pending = list(pids)
+    while pending and time.monotonic() < deadline:
+        still = []
+        for pid in pending:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            still.append(pid)
+        pending = still
+        if pending:
+            time.sleep(0.05)
+    assert not pending, f"worker processes survived: {pending}"
+
+
+class TestSessionSharding:
+    def test_execute_with_shards(self):
+        pipeline = small_pipeline()
+        cursor = pipeline.session.execute(QUERY, samples=6, shards=2)
+        assert cursor.num_samples == 7
+        for *_, probability in cursor:
+            assert 0.0 <= probability <= 1.0
+        pipeline.session.close()
+
+    def test_shards_one_bit_identical_to_unsharded_runner(self):
+        # Same seed path: shards=1 must match a directly driven
+        # unsharded MaterializedEvaluator byte for byte.
+        from repro.core import MaterializedEvaluator
+        from repro.db import Database
+
+        pipeline = small_pipeline()
+        cursor = pipeline.session.execute(QUERY, samples=8, shards=1)
+        runner = sharded_runner(pipeline.session)
+        seed = runner.evaluator.unit_seeds[0]
+
+        task = pipeline.task
+        db = Database.from_snapshot(task._snapshot, "reference")
+        chain = task.shard_chain_factory()(db, seed)
+        evaluator = MaterializedEvaluator(db, chain, [QUERY])
+        reference = evaluator.run(8)
+        evaluator.detach()
+        assert (
+            cursor.marginals().probabilities()
+            == reference.marginals.probabilities()
+        )
+        pipeline.session.close()
+
+    def test_refine_continues_sharded_chains(self):
+        pipeline = small_pipeline()
+        cursor = pipeline.session.execute(QUERY, samples=4, shards=2)
+        assert cursor.num_samples == 5
+        cursor.refine(4)
+        assert cursor.num_samples == 9
+        pipeline.session.close()
+
+    def test_repeated_execute_reuses_runner(self):
+        pipeline = small_pipeline()
+        pipeline.session.execute(QUERY, samples=3, shards=2)
+        first = sharded_runner(pipeline.session)
+        cursor = pipeline.session.execute(QUERY, samples=3, shards=2)
+        assert sharded_runner(pipeline.session) is first
+        # Marginals accumulated across calls (anytime semantics).
+        assert cursor.num_samples == 7
+        pipeline.session.close()
+
+    def test_shards_without_factory_rejected(self):
+        import repro
+        from repro.mcmc import MarkovChain
+
+        pipeline = small_pipeline()
+        session = repro.connect(pipeline.instance.db).attach_model(
+            pipeline.instance
+        )
+        with pytest.raises(EvaluationError, match="shard_factory"):
+            session.execute(QUERY, samples=2, shards=2)
+        session.close()
+        pipeline.session.close()
+
+    def test_global_aggregate_with_shards_rejected(self):
+        pipeline = small_pipeline()
+        with pytest.raises(ShardingError, match="global aggregates"):
+            pipeline.session.execute(
+                "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'",
+                samples=2,
+                shards=2,
+            )
+        pipeline.session.close()
+
+    def test_equivalent_partitioners_share_one_cached_runner(self):
+        """Runners are cached by partitioner *content*, not object
+        identity: rebuilding an equivalent partitioner per call (the
+        documented idiom) continues the same chains, creates no new
+        workers, and never tears down a runner an earlier cursor still
+        holds."""
+        from repro.db import HashPartitioner, KeyListPartitioner
+
+        pipeline = small_pipeline()
+        session = pipeline.session
+        c1 = session.execute(
+            QUERY, samples=2, shards=2, backend="process",
+            partitioner=HashPartitioner(2),
+        )
+        first = sharded_runner(session)
+        first_pids = first.evaluator.worker_pids()
+
+        # Fresh-but-equal partitioner object: same runner, same workers,
+        # marginals accumulate.
+        c2 = session.execute(
+            QUERY, samples=2, shards=2, backend="process",
+            partitioner=HashPartitioner(2),
+        )
+        assert sharded_runner(session) is first
+        assert first.evaluator.worker_pids() == first_pids
+        assert c2.num_samples == c1.num_samples + 2
+
+        # A genuinely different split gets its own runner; the first
+        # stays alive and refinable for its cursor.
+        docs = sorted({row[1] for row in pipeline.db.table("TOKEN").rows()})
+        explicit = KeyListPartitioner([docs[::2], docs[1::2]])
+        session.execute(
+            QUERY, samples=2, shards=2, backend="process", partitioner=explicit
+        )
+        sharded = [
+            r for k, r in session._runners.items() if k[1] == "sharded"
+        ]
+        assert len(sharded) == 2
+        c1.refine(2)  # the original cursor still works
+        all_pids = [p for r in sharded for p in r.evaluator.worker_pids()]
+        session.close()
+        assert_all_dead(all_pids)
+
+    def test_coref_default_partitioner_respects_blocks(self):
+        """Without an explicit partitioner, coref sharding must fall
+        back to the factory's block partitioner — a hash split would
+        silently sever candidate blocks."""
+        from repro.ie.coref import CorefPipeline, COREF_PAIR_QUERY, mention_blocks
+
+        pipeline = CorefPipeline(
+            num_entities=6, mentions_per_entity=3, seed=2, steps_per_sample=20
+        )
+        cursor = pipeline.session.execute(COREF_PAIR_QUERY, samples=3, shards=2)
+        assert cursor.num_samples == 4
+        runner = sharded_runner(pipeline.session)
+        sharded = runner.evaluator.sharded
+        for block in mention_blocks(pipeline.db):
+            shards_of_block = {sharded.shard_of_value(mid) for mid in block}
+            assert len(shards_of_block) == 1, f"block {block} split"
+        pipeline.session.close()
+
+    def test_shards_compose_with_chains_process_workers(self):
+        pipeline = small_pipeline()
+        cursor = pipeline.session.execute(
+            QUERY, samples=2, shards=2, chains=2, backend="process"
+        )
+        runner = sharded_runner(pipeline.session)
+        pids = runner.evaluator.worker_pids()
+        assert len(pids) == 4  # K x M workers
+        assert cursor.num_samples == 6  # 2 chains x 3 samples per shard
+        pipeline.session.close()
+        assert_all_dead(pids)
+
+
+class TestWorkerHygiene:
+    def test_close_terminates_sharded_workers(self):
+        pipeline = small_pipeline()
+        pipeline.session.execute(QUERY, samples=2, shards=2, backend="process")
+        pids = sharded_runner(pipeline.session).evaluator.worker_pids()
+        assert pids
+        pipeline.session.close()
+        assert_all_dead(pids)
+
+    def test_no_live_workers_after_midrun_crash(self):
+        """The leak regression: a worker dying mid-run makes execute
+        raise — afterwards every other worker must be gone too, and the
+        dead runner must be evicted from the session cache."""
+        pipeline = small_pipeline()
+        session = pipeline.session
+        session.execute(QUERY, samples=2, shards=2, backend="process")
+        runner = sharded_runner(session)
+        pids = runner.evaluator.worker_pids()
+        assert len(pids) == 2
+
+        os.kill(pids[0], signal.SIGKILL)
+        with pytest.raises(EvaluationError):
+            session.execute(QUERY, samples=2, shards=2, backend="process")
+        assert_all_dead(pids)
+
+        # The crashed runner is unusable; the next execute must rebuild
+        # fresh workers transparently and succeed.
+        cursor = session.execute(QUERY, samples=2, shards=2, backend="process")
+        rebuilt = sharded_runner(session)
+        assert rebuilt is not runner
+        assert cursor.num_samples == 3
+        fresh = rebuilt.evaluator.worker_pids()
+        session.close()
+        assert_all_dead(fresh)
+
+    def test_no_live_workers_after_refine_crash(self):
+        pipeline = small_pipeline()
+        session = pipeline.session
+        cursor = session.execute(QUERY, samples=2, shards=2, backend="process")
+        runner = sharded_runner(session)
+        pids = runner.evaluator.worker_pids()
+        os.kill(pids[-1], signal.SIGKILL)
+        with pytest.raises(EvaluationError):
+            cursor.refine(2)
+        assert_all_dead(pids)
+        # Dead cached runner is evicted on the next execute (the fix):
+        cursor = session.execute(QUERY, samples=2, shards=2, backend="process")
+        assert cursor.num_samples == 3
+        fresh = sharded_runner(session).evaluator.worker_pids()
+        session.close()
+        assert_all_dead(fresh)
+
+    def test_close_is_idempotent_after_crash(self):
+        pipeline = small_pipeline()
+        session = pipeline.session
+        session.execute(QUERY, samples=2, shards=2, backend="process")
+        pids = sharded_runner(session).evaluator.worker_pids()
+        os.kill(pids[0], signal.SIGKILL)
+        with pytest.raises(EvaluationError):
+            session.execute(QUERY, samples=2, shards=2, backend="process")
+        session.close()
+        session.close()
+        assert_all_dead(pids)

@@ -1,0 +1,244 @@
+"""ShardedEvaluator: data-parallel evaluation correctness.
+
+Key guarantees under test:
+
+* ``shards=1`` is **bit-identical** to the unsharded
+  :class:`MaterializedEvaluator` (same seed, same sample stream, same
+  floats);
+* sequential and process backends agree exactly for any shard count;
+* the union merge is the independent-product combine, exact for
+  disjoint supports;
+* empty shards, K > #documents, cross-shard factors and global
+  aggregates all behave (skip, skip, raise, raise).
+"""
+
+import pytest
+
+from repro.core import MaterializedEvaluator, ShardedEvaluator, merge_shard_estimators
+from repro.core.marginals import MarginalEstimator
+from repro.core.sharded import derive_unit_seeds
+from repro.db import Database, HashPartitioner, ShardSpec
+from repro.db.multiset import Multiset
+from repro.errors import EvaluationError, ShardingError
+from repro.ie.ner import NerTask
+
+QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+GROUPED = "SELECT DOC_ID, COUNT(*) FROM TOKEN WHERE LABEL='B-PER' GROUP BY DOC_ID"
+
+
+@pytest.fixture(scope="module")
+def task():
+    return NerTask(400, corpus_seed=0, steps_per_sample=50)
+
+
+def num_docs(task):
+    return len({row[1] for row in task._initial.table("TOKEN").rows()})
+
+
+# ----------------------------------------------------------------------
+# Bit identity and backend agreement
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def test_one_shard_equals_unsharded(self, task):
+        with ShardedEvaluator(
+            task._initial, task.shard_chain_factory(), [QUERY], 1, base_seed=11
+        ) as sharded:
+            sharded_result = sharded.run(12)
+            seed = sharded.unit_seeds[0]
+
+        db = Database.from_snapshot(task._snapshot, "unsharded")
+        chain = task.shard_chain_factory()(db, seed)
+        evaluator = MaterializedEvaluator(db, chain, [QUERY])
+        unsharded_result = evaluator.run(12)
+        evaluator.detach()
+
+        # Byte identity: identical rows, identical float probabilities.
+        assert (
+            sharded_result.marginals.probabilities()
+            == unsharded_result.marginals.probabilities()
+        )
+        assert sharded_result.marginals.num_samples == 13
+
+    def test_backends_agree_for_multiple_shards(self, task):
+        results = {}
+        for backend in ("sequential", "process"):
+            with ShardedEvaluator(
+                task._initial,
+                task.shard_chain_factory(),
+                [QUERY],
+                2,
+                base_seed=5,
+                backend=backend,
+            ) as evaluator:
+                results[backend] = evaluator.run(8).marginals.probabilities()
+        assert results["sequential"] == results["process"]
+
+    def test_anytime_refinement_continues_chains(self, task):
+        with ShardedEvaluator(
+            task._initial, task.shard_chain_factory(), [QUERY], 2, base_seed=5
+        ) as evaluator:
+            first = evaluator.run(4)
+            second = evaluator.run(4, include_initial=False)
+        assert first.marginals.num_samples == 5
+        assert second.marginals.num_samples == 9
+
+    def test_shards_compose_with_chains(self, task):
+        with ShardedEvaluator(
+            task._initial,
+            task.shard_chain_factory(),
+            [QUERY],
+            2,
+            chains=2,
+            base_seed=5,
+        ) as evaluator:
+            assert len(evaluator.unit_seeds) == 4
+            result = evaluator.run(5)
+            # Each shard pools 2 chains x (5+1) samples.
+            assert result.marginals.num_samples == 12
+            assert len(evaluator.shard_results) == 2
+            for shard_result in evaluator.shard_results:
+                assert shard_result.marginals.num_samples == 12
+
+
+# ----------------------------------------------------------------------
+# Merge semantics
+# ----------------------------------------------------------------------
+def estimator_from(answers):
+    est = MarginalEstimator()
+    for answer in answers:
+        est.record(Multiset(answer))
+    return est
+
+
+class TestMerge:
+    def test_single_shard_is_identity(self):
+        est = estimator_from([[("a",)], [("a",), ("b",)]])
+        merged = merge_shard_estimators([[est]])
+        assert merged[0].probabilities() == est.probabilities()
+
+    def test_disjoint_supports_keep_exact_counts(self):
+        left = estimator_from([[("a",)], [("a",)], []])
+        right = estimator_from([[("b",)], [], []])
+        merged = merge_shard_estimators([[left], [right]])[0]
+        assert merged.num_samples == 3
+        assert merged.probability(("a",)) == 2 / 3
+        assert merged.probability(("b",)) == 1 / 3
+
+    def test_overlapping_support_uses_product_combine(self):
+        # ("x",) holds with p=1/2 in each independent shard: union
+        # probability 1 - (1/2)*(1/2) = 3/4.
+        left = estimator_from([[("x",)], []])
+        right = estimator_from([[("x",)], []])
+        merged = merge_shard_estimators([[left], [right]])[0]
+        assert merged.probability(("x",)) == pytest.approx(0.75)
+
+    def test_certain_tuple_stays_certain(self):
+        left = estimator_from([[("x",)], [("x",)]])
+        right = estimator_from([[("x",)], []])
+        merged = merge_shard_estimators([[left], [right]])[0]
+        assert merged.probability(("x",)) == 1.0
+        assert merged.deterministic_rows() == [("x",)]
+
+    def test_mismatched_sample_counts_rejected(self):
+        left = estimator_from([[("a",)]])
+        right = estimator_from([[("b",)], []])
+        with pytest.raises(ShardingError, match="disagree on sample count"):
+            merge_shard_estimators([[left], [right]])
+
+    def test_no_shards_rejected(self):
+        with pytest.raises(ShardingError, match="no shard results"):
+            merge_shard_estimators([])
+
+
+# ----------------------------------------------------------------------
+# Edge cases and rejection
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_more_shards_than_documents_skips_empty(self, task):
+        docs = num_docs(task)
+        with ShardedEvaluator(
+            task._initial,
+            task.shard_chain_factory(),
+            [QUERY],
+            docs + 3,
+            base_seed=1,
+        ) as evaluator:
+            assert len(evaluator.shard_indexes) == docs
+            assert len(evaluator.empty_shards) == 3
+            result = evaluator.run(4)
+        assert result.marginals.num_samples == 5
+
+    def test_all_shards_empty_rejected(self):
+        db = Database("empty")
+        db.create_table(NerTask(100, corpus_seed=0)._initial.table("TOKEN").schema)
+        task = NerTask(100, corpus_seed=0, steps_per_sample=10)
+        with pytest.raises(ShardingError, match="every shard is empty"):
+            ShardedEvaluator(db, task.shard_chain_factory(), [QUERY], 2)
+
+    def test_cross_shard_factor_rejected(self, task):
+        # Token-level sharding splits transition (and skip) factors.
+        graph = task.make_instance(1).model.graph
+        with pytest.raises(ShardingError, match="spans shards"):
+            ShardedEvaluator(
+                task._initial,
+                task.shard_chain_factory(),
+                [QUERY],
+                2,
+                spec=ShardSpec("TOKEN", "TOK_ID"),
+                validate_graph=graph,
+            )
+
+    def test_document_sharding_passes_validation(self, task):
+        graph = task.make_instance(1).model.graph
+        with ShardedEvaluator(
+            task._initial,
+            task.shard_chain_factory(),
+            [QUERY],
+            2,
+            validate_graph=graph,
+        ) as evaluator:
+            assert evaluator.run(2).marginals.num_samples == 3
+
+    def test_global_aggregate_rejected(self, task):
+        with pytest.raises(ShardingError, match="global aggregates"):
+            ShardedEvaluator(
+                task._initial,
+                task.shard_chain_factory(),
+                ["SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'"],
+                2,
+            )
+
+    def test_grouped_aggregate_on_shard_key_allowed(self, task):
+        with ShardedEvaluator(
+            task._initial, task.shard_chain_factory(), [GROUPED], 2, base_seed=3
+        ) as evaluator:
+            assert evaluator.run(2).marginals.num_samples == 3
+
+    def test_missing_spec_rejected(self, task):
+        def bare_factory(db, seed):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(ShardingError, match="no shard key"):
+            ShardedEvaluator(task._initial, bare_factory, [QUERY], 2)
+
+    def test_partitioner_shard_count_must_match(self, task):
+        with pytest.raises(ShardingError, match="covers 2 shards"):
+            ShardedEvaluator(
+                task._initial,
+                task.shard_chain_factory(),
+                [QUERY],
+                4,
+                partitioner=HashPartitioner(2),
+            )
+
+    def test_invalid_counts_rejected(self, task):
+        with pytest.raises(ShardingError, match="at least one shard"):
+            ShardedEvaluator(task._initial, task.shard_chain_factory(), [QUERY], 0)
+        with pytest.raises(EvaluationError, match="at least one chain"):
+            ShardedEvaluator(
+                task._initial, task.shard_chain_factory(), [QUERY], 2, chains=0
+            )
+
+    def test_seed_derivation_is_pure(self):
+        assert derive_unit_seeds(42, 4) == derive_unit_seeds(42, 4)
+        assert derive_unit_seeds(42, 4) != derive_unit_seeds(43, 4)

@@ -1,0 +1,224 @@
+"""The sharding subsystem: partitioners and database splitting.
+
+The load-bearing invariant (property-tested below): shards *partition*
+the original database — the disjoint union of the shards' rows equals
+the original tables exactly, with no tuple lost or duplicated, for any
+partitioner and any data.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    AttrType,
+    Database,
+    HashPartitioner,
+    KeyListPartitioner,
+    Multiset,
+    Schema,
+    ShardSpec,
+    ShardedDatabase,
+)
+from repro.db.shard import stable_hash
+from repro.errors import ShardingError
+
+TOKEN_SCHEMA = Schema.build(
+    "TOKEN",
+    [
+        ("TOK_ID", AttrType.INT),
+        ("DOC_ID", AttrType.INT),
+        ("STRING", AttrType.STRING),
+        ("LABEL", AttrType.STRING),
+    ],
+    key=["TOK_ID"],
+)
+
+
+def build_db(rows):
+    db = Database("t")
+    db.create_table(TOKEN_SCHEMA)
+    db.table("TOKEN").insert_many(rows)
+    return db
+
+
+def token_rows(num_tokens, num_docs):
+    return [
+        (i, i % max(1, num_docs), f"w{i % 7}", "O") for i in range(num_tokens)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+class TestPartitioners:
+    def test_hash_is_stable_and_in_range(self):
+        p = HashPartitioner(4)
+        for value in [0, 1, 17, -3, "Boston", "x", 2.5, None, ("a", 1)]:
+            shard = p.shard_of(value)
+            assert 0 <= shard < 4
+            assert shard == p.shard_of(value)  # pure function
+
+    def test_hash_int_keys_spread_round_robin(self):
+        p = HashPartitioner(3)
+        assert [p.shard_of(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_stable_hash_distinguishes_bool_from_int_semantics(self):
+        # bools hash as 0/1 (their int value) — documented, just pinned.
+        assert stable_hash(True) == 1
+        assert stable_hash(-5) == 5
+        assert stable_hash("a") == stable_hash("a")
+
+    def test_at_least_one_shard(self):
+        with pytest.raises(ShardingError, match="at least one shard"):
+            HashPartitioner(0)
+        with pytest.raises(ShardingError, match="at least one shard"):
+            KeyListPartitioner([])
+
+    def test_key_list_assigns_and_rejects_unknown(self):
+        p = KeyListPartitioner([[1, 2], [3]])
+        assert p.shard_of(1) == 0
+        assert p.shard_of(3) == 1
+        with pytest.raises(ShardingError, match="not assigned"):
+            p.shard_of(99)
+
+    def test_key_list_rejects_double_assignment(self):
+        with pytest.raises(ShardingError, match="both shard"):
+            KeyListPartitioner([[1], [1]])
+
+
+# ----------------------------------------------------------------------
+# ShardedDatabase
+# ----------------------------------------------------------------------
+class TestShardedDatabase:
+    def test_split_partitions_rows_by_doc(self):
+        db = build_db(token_rows(20, 4))
+        sharded = ShardedDatabase(
+            db, ShardSpec("TOKEN", "DOC_ID"), HashPartitioner(4)
+        )
+        shards = sharded.split()
+        assert len(shards) == 4
+        for index, shard in enumerate(shards):
+            docs = {row[1] for row in shard.table("TOKEN").rows()}
+            assert all(sharded.shard_of_value(d) == index for d in docs)
+        total = sum(len(s.table("TOKEN")) for s in shards)
+        assert total == 20
+
+    def test_every_shard_has_full_schema(self):
+        db = build_db(token_rows(3, 1))  # one doc: shards 1..2 empty
+        shards = ShardedDatabase(
+            db, ShardSpec("TOKEN", "DOC_ID"), HashPartitioner(3)
+        ).split()
+        for shard in shards:
+            assert shard.table("TOKEN").schema == TOKEN_SCHEMA
+        assert [len(s.table("TOKEN")) for s in shards] == [3, 0, 0]
+
+    def test_original_database_untouched(self):
+        db = build_db(token_rows(10, 2))
+        before = db.table("TOKEN").as_multiset()
+        ShardedDatabase(
+            db, ShardSpec("TOKEN", "DOC_ID"), HashPartitioner(2)
+        ).split()
+        assert db.table("TOKEN").as_multiset() == before
+
+    def test_unkeyed_unreplicated_table_rejected(self):
+        db = build_db(token_rows(4, 2))
+        db.create_table(
+            Schema.build("META", [("K", AttrType.STRING)], key=["K"])
+        )
+        with pytest.raises(ShardingError, match="no shard key"):
+            ShardedDatabase(db, ShardSpec("TOKEN", "DOC_ID"), HashPartitioner(2))
+
+    def test_replicated_table_copied_to_every_shard(self):
+        db = build_db(token_rows(4, 2))
+        db.create_table(
+            Schema.build("META", [("K", AttrType.STRING)], key=["K"])
+        )
+        db.insert("META", ("config",))
+        shards = ShardedDatabase(
+            db,
+            ShardSpec("TOKEN", "DOC_ID"),
+            HashPartitioner(2),
+            replicate=["META"],
+        ).split()
+        for shard in shards:
+            assert list(shard.table("META").rows()) == [("config",)]
+
+    def test_table_cannot_be_sharded_and_replicated(self):
+        db = build_db(token_rows(4, 2))
+        with pytest.raises(ShardingError, match="both sharded and replicated"):
+            ShardedDatabase(
+                db,
+                ShardSpec("TOKEN", "DOC_ID"),
+                HashPartitioner(2),
+                replicate=["TOKEN"],
+            )
+
+    def test_missing_shard_column_rejected(self):
+        db = build_db(token_rows(4, 2))
+        with pytest.raises(ShardingError, match="does not exist"):
+            ShardedDatabase(db, ShardSpec("TOKEN", "NOPE"), HashPartitioner(2))
+
+    def test_shard_of_key_maps_pk_to_shard(self):
+        db = build_db(token_rows(12, 3))
+        sharded = ShardedDatabase(
+            db, ShardSpec("TOKEN", "DOC_ID"), HashPartitioner(3)
+        )
+        for pk in range(12):
+            row = db.table("TOKEN").get((pk,))
+            assert sharded.shard_of_key("TOKEN", (pk,)) == sharded.shard_of_value(
+                row[1]
+            )
+
+    def test_key_list_partitioner_with_unassigned_value_fails_on_split(self):
+        db = build_db(token_rows(6, 3))  # docs 0, 1, 2
+        sharded = ShardedDatabase(
+            db, ShardSpec("TOKEN", "DOC_ID"), KeyListPartitioner([[0], [1]])
+        )
+        with pytest.raises(ShardingError, match="not assigned"):
+            sharded.split()
+
+
+# ----------------------------------------------------------------------
+# Property: any split round-trips (union of shards == original)
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    doc_ids=st.lists(st.integers(0, 30), min_size=0, max_size=60),
+    num_shards=st.integers(1, 8),
+)
+def test_property_hash_split_round_trips(doc_ids, num_shards):
+    rows = [(i, doc, f"w{doc}", "O") for i, doc in enumerate(doc_ids)]
+    db = build_db(rows)
+    shards = ShardedDatabase(
+        db, ShardSpec("TOKEN", "DOC_ID"), HashPartitioner(num_shards)
+    ).split()
+    union = Multiset()
+    for shard in shards:
+        union.update(shard.table("TOKEN").as_multiset())
+    # No tuple lost, none duplicated: the union is exactly the original.
+    assert union == db.table("TOKEN").as_multiset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    doc_ids=st.lists(st.integers(0, 9), min_size=1, max_size=40),
+    assignment=st.lists(st.integers(0, 3), min_size=10, max_size=10),
+)
+def test_property_key_list_split_round_trips(doc_ids, assignment):
+    rows = [(i, doc, f"w{doc}", "O") for i, doc in enumerate(doc_ids)]
+    db = build_db(rows)
+    key_lists = [[] for _ in range(4)]
+    for doc, shard in enumerate(assignment):
+        key_lists[shard].append(doc)
+    shards = ShardedDatabase(
+        db, ShardSpec("TOKEN", "DOC_ID"), KeyListPartitioner(key_lists)
+    ).split()
+    union = Multiset()
+    for shard in shards:
+        union.update(shard.table("TOKEN").as_multiset())
+    assert union == db.table("TOKEN").as_multiset()
+    # And the split respects the explicit assignment exactly.
+    for shard_index, shard in enumerate(shards):
+        for row in shard.table("TOKEN").rows():
+            assert assignment[row[1]] == shard_index
