@@ -1,4 +1,5 @@
-"""Ablation: incremental view maintenance vs full re-execution (§4.2).
+"""Ablation: incremental view maintenance vs full re-execution (§4.2),
+plus the probabilistic live-update series (ISSUE 5).
 
 Microbenchmark of the per-sample query-answer update — the operation
 Algorithms 1 and 3 disagree on.  For a world delta of ~d rows in a
@@ -6,19 +7,39 @@ database of n rows, the incremental update costs O(d) and the full
 re-execution O(n); this bench measures both at several database sizes
 for Query 1 (selection+projection) and the Query-3 plan
 (decorrelated correlated subqueries).
+
+The ``live-update`` groups extend the same question to the *model*
+side: after a single-row INSERT into the 40k-token NER world, how long
+until query-ready marginals of the updated database?  ``repair_resume``
+routes the DML through the live session (incremental graph repair,
+chain carryover, local re-burn, estimator re-pool);
+``rebuild_reburn`` builds the model, materializes the view, and
+re-burns one thinning interval from scratch — what every pre-live
+session had to do.  ``check_live_update.py`` gates the committed
+``BENCH_live_update.json`` on a ≥10× repair advantage, and the bench
+itself asserts the repaired graph is bit-identical to a rebuilt one.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
+import time
 
 import pytest
 
-from repro.bench import QUERY1, QUERY3, fmt_seconds, scale_factor
+import repro
+from repro.bench import QUERY1, QUERY3, fmt_seconds, make_task, scale_factor
+from repro.core.live import graph_signature
+from repro.core.materialized import MaterializedEvaluator
 from repro.db import Database, MaterializedView, plan_query
 from repro.db.ra.eval import evaluate
 from repro.ie.ner import build_token_database, generate_corpus
 from repro.ie.ner.labels import LABELS
+from repro.ie.ner.model import SkipChainNerModel
+from repro.ie.ner.pdb import NerInstance
+
+from check_live_update import MIN_LIVE_UPDATE_SPEEDUP
 
 SIZES = [1_000, 25_000]
 DELTA_ROWS = 50
@@ -90,8 +111,127 @@ def test_query3_incremental_vs_full(benchmark, num_tokens):
 
 
 def _time_once(fn) -> float:
-    import time
-
     started = time.perf_counter()
     fn()
     return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Probabilistic live updates: repair+resume vs rebuild+reburn (ISSUE 5)
+# ----------------------------------------------------------------------
+LIVE_TOKENS = 40_000 * scale_factor()
+LIVE_STEPS_PER_SAMPLE = 1_000
+_fresh_tok_ids = itertools.count(10_000_000)
+
+
+@pytest.fixture(scope="module")
+def live_session():
+    """One live NER session at the acceptance scale, query-ready."""
+    task = make_task(LIVE_TOKENS, steps_per_sample=LIVE_STEPS_PER_SAMPLE)
+    instance = task.make_instance(chain_seed=12)
+    session = repro.connect(instance.db).attach_model(instance)
+    session.execute(QUERY1, samples=2)  # materialize views, warm chain
+    return task, instance, session
+
+
+def _insert_one(session) -> int:
+    tok_id = next(_fresh_tok_ids)
+    session.execute(
+        f"INSERT INTO TOKEN VALUES ({tok_id}, 0, 'Zanzibar', 'O', 'B-PER')"
+    )
+    return tok_id
+
+
+def _rebuild_reburn(db, weights):
+    """The pre-live alternative: model + view from scratch over the
+    updated world, then one thinning interval of re-burn before the
+    first query-ready sample (the resumed chain needs only a local
+    burn because its global state is already equilibrated)."""
+    instance = NerInstance(
+        db, weights, chain_seed=999, steps_per_sample=LIVE_STEPS_PER_SAMPLE
+    )
+    evaluator = MaterializedEvaluator(db, instance.chain, [QUERY1])
+    evaluator.run(0, burn_in=1)
+    evaluator.detach()
+    return evaluator
+
+
+@pytest.mark.benchmark(group="live-update")
+def test_live_insert_repair_resume(benchmark, live_session):
+    task, instance, session = live_session
+
+    def step():
+        _insert_one(session)
+        # query-ready marginals of the updated world: the repaired
+        # runner records the (re-pooled) initial sample
+        session.execute(QUERY1, samples=0)
+
+    benchmark.pedantic(step, rounds=10, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["tokens"] = LIVE_TOKENS
+    benchmark.extra_info["series"] = "repair_resume"
+    benchmark.extra_info["steps_per_sample"] = LIVE_STEPS_PER_SAMPLE
+
+
+@pytest.mark.benchmark(group="live-update")
+def test_live_insert_rebuild_reburn(benchmark, live_session):
+    task, instance, session = live_session
+    _insert_one(session)
+    snap = instance.db.snapshot()
+
+    def setup():
+        return (Database.from_snapshot(snap, "rebuild"),), {}
+
+    benchmark.pedantic(
+        lambda db: _rebuild_reburn(db, task.weights),
+        setup=setup,
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["tokens"] = LIVE_TOKENS
+    benchmark.extra_info["series"] = "rebuild_reburn"
+    benchmark.extra_info["steps_per_sample"] = LIVE_STEPS_PER_SAMPLE
+
+
+@pytest.mark.benchmark(group="live-update-speedup")
+def test_live_update_speedup_and_bit_identity(benchmark, live_session):
+    """ISSUE 5 acceptance: single-row INSERT at the 40k-token scale —
+    repair+resume reaches query-ready marginals ≥10× faster than
+    rebuild+reburn, and the repaired graph is bit-identical to one
+    rebuilt from the updated database."""
+    task, instance, session = live_session
+
+    def experiment():
+        repairs = []
+        for _ in range(3):
+            started = time.perf_counter()
+            _insert_one(session)
+            session.execute(QUERY1, samples=0)
+            repairs.append(time.perf_counter() - started)
+        snap = instance.db.snapshot()
+        db = Database.from_snapshot(snap, "rebuild")
+        started = time.perf_counter()
+        _rebuild_reburn(db, task.weights)
+        rebuild = time.perf_counter() - started
+        return min(repairs), rebuild
+
+    repair_seconds, rebuild_seconds = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    speedup = rebuild_seconds / repair_seconds
+    benchmark.extra_info["tokens"] = LIVE_TOKENS
+    benchmark.extra_info["repair_seconds"] = repair_seconds
+    benchmark.extra_info["rebuild_seconds"] = rebuild_seconds
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\nlive update @ {LIVE_TOKENS} tokens: repair+resume "
+        f"{fmt_seconds(repair_seconds)} vs rebuild+reburn "
+        f"{fmt_seconds(rebuild_seconds)} — {speedup:.1f}x"
+    )
+    assert speedup >= MIN_LIVE_UPDATE_SPEEDUP
+    # Bit-identity: the repaired graph enumerates the same factors in
+    # the same order with the same total score as a fresh build over
+    # the updated TOKEN relation.
+    model = session.live_runner.model
+    rebuilt = SkipChainNerModel(instance.db, weights=task.weights)
+    assert graph_signature(model.graph) == graph_signature(rebuilt.graph)

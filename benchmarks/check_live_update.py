@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI gate for the ISSUE 5 live-update acceptance criterion.
+
+Reads a pytest-benchmark JSON produced by::
+
+    pytest benchmarks/bench_view_maintenance.py -k live \\
+        --benchmark-json=BENCH_live_update.json
+
+and fails (exit 1) when repair+resume is not at least ``--min-speedup``
+times faster than rebuild+reburn for the single-row INSERT at the
+40k-token NER scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Single source of truth for the gate; bench_view_maintenance.py
+# imports this for its in-test assertion and CI uses the script's
+# default, so one edit moves every enforcement point.
+MIN_LIVE_UPDATE_SPEEDUP = 10.0
+
+
+def series_means(report: dict) -> dict[str, float]:
+    """series name -> mean seconds for the live-update group."""
+    out: dict[str, float] = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("group") != "live-update":
+            continue
+        series = bench.get("extra_info", {}).get("series")
+        if series:
+            out[series] = bench["stats"]["mean"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_LIVE_UPDATE_SPEEDUP,
+        help=(
+            "smallest allowed rebuild/repair mean-time ratio "
+            f"(default {MIN_LIVE_UPDATE_SPEEDUP})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+    means = series_means(report)
+    missing = {"repair_resume", "rebuild_reburn"} - means.keys()
+    if missing:
+        print(f"live-update series missing from report: {sorted(missing)}")
+        return 1
+    speedup = means["rebuild_reburn"] / means["repair_resume"]
+    print(
+        f"repair+resume {means['repair_resume'] * 1e3:.2f}ms vs "
+        f"rebuild+reburn {means['rebuild_reburn'] * 1e3:.2f}ms "
+        f"-> {speedup:.1f}x (gate: >= {args.min_speedup}x)"
+    )
+    if speedup < args.min_speedup:
+        print("FAIL: live update repair advantage below the gate")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 from repro.api import AnytimeCursor, Cursor, Session, connect
 from repro.db import AttrType, Database, Schema

@@ -6,7 +6,13 @@ door: one object that answers every statement class from SQL strings —
 
 * **DDL** — ``CREATE TABLE`` / ``DROP TABLE`` manage the schema;
 * **DML** — ``INSERT`` / ``UPDATE`` / ``DELETE`` mutate the stored
-  possible world (observed by any attached delta recorders);
+  possible world (observed by any attached delta recorders).  When the
+  attached model is live-capable, the statement's delta additionally
+  *repairs* the factor graph in place — chain state for untouched
+  variables carries over — while runners holding independent world
+  copies (parallel/sharded) are invalidated and rebuilt from the
+  updated database on their next execution (see
+  :mod:`repro.core.live`);
 * **deterministic queries** — ``SELECT`` evaluated once against the
   current world;
 * **probabilistic queries** — the same ``SELECT`` executed with
@@ -50,18 +56,21 @@ from repro.api.cursor import AnytimeCursor, Cursor
 from repro.api.plan_cache import CacheInfo, PlanCache, normalize_sql
 from repro.core.backends import make_backend, validate_backend_name
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
+from repro.core.live import IncrementalEvaluator, LiveRunner, resolve_live_model
 from repro.core.materialized import MaterializedEvaluator
 from repro.core.naive import NaiveEvaluator
 from repro.core.sharded import ShardChainFactory, ShardedEvaluator
 from repro.db.database import Database
+from repro.db.delta import Delta
 from repro.db.shard import Partitioner
 from repro.db.ra.ast import PlanNode
 from repro.db.ra.eval import evaluate_rows
 from repro.db.sql.ast import SelectStmt, Statement
 from repro.db.sql.compiler import compile_select
-from repro.db.sql.executor import execute_statement
+from repro.db.sql.executor import execute_dml, execute_statement
 from repro.db.sql.parser import parse_script, parse_statement
 from repro.errors import EvaluationError, QueryError
+from repro.fg.graph import GraphRepair
 from repro.mcmc.chain import MarkovChain
 
 __all__ = ["Session", "connect"]
@@ -93,15 +102,34 @@ class _ChainRunner:
     def __init__(self, evaluator: QueryEvaluator):
         self.evaluator = evaluator
         self._first = True
+        self._closed = False
 
     def run(self, samples: int, burn_in: int = 0) -> EvaluationResult:
+        if self._closed:
+            # A disposed runner's recorder is gone, so its materialized
+            # views missed every mutation since — reviving it would
+            # serve pre-update answers.  Mirror the closed parallel
+            # backends: orphaned cursors must re-execute, not refine.
+            raise EvaluationError(
+                "this runner was invalidated (DDL/DML or session close); "
+                "re-execute the query for up-to-date marginals"
+            )
         include_initial = self._first
         self._first = False
         return self.evaluator.run(
             samples, include_initial_sample=include_initial, burn_in=burn_in
         )
 
+    def notify_repair(self, repair: GraphRepair) -> None:
+        """Re-pool after a live graph repair: the posterior changed, so
+        pre-update samples are dropped in place (cursors already issued
+        observe the reset) and the repaired world counts as the fresh
+        initial sample on the next run."""
+        self.evaluator.notify_repair(repair)
+        self._first = True
+
     def dispose(self) -> None:
+        self._closed = True
         detach = getattr(self.evaluator, "detach", None)
         if detach is not None:
             detach()
@@ -234,6 +262,7 @@ class Session:
         self._chain: Optional[MarkovChain] = None
         self._chain_factory: Optional[ChainFactory] = None
         self._shard_factory: Optional[ShardChainFactory] = None
+        self._live: Optional[LiveRunner] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -310,6 +339,29 @@ class Session:
             self._drop_runners(kinds=("sharded",))
         if model is not None:
             self._model = model
+        # Live updates: when the attached model can repair its factor
+        # graph from DML deltas, DML on this session repairs in place
+        # (chain carryover) instead of invalidating everything.  The
+        # chain's kernel must expose a resyncable ``proposer`` (Gibbs
+        # keeps a private variable snapshot no repair can refresh) —
+        # anything else falls back to plain invalidation.
+        live_model = (
+            resolve_live_model(self._model) if self._model is not None else None
+        )
+        kernel = getattr(self._chain, "kernel", None)
+        if (
+            self._chain is not None
+            and live_model is not None
+            and getattr(kernel, "proposer", None) is not None
+        ):
+            if (
+                self._live is None
+                or self._live.model is not live_model
+                or self._live.chain is not self._chain
+            ):
+                self._live = LiveRunner(live_model, self._chain)
+        else:
+            self._live = None
         return self
 
     @property
@@ -345,6 +397,102 @@ class Session:
             )
         for key in [k for k in self._runners if k[1] in kinds]:
             _dispose_runner(self._runners.pop(key))
+
+    def _after_ddl(self, stmt: Any) -> None:
+        """Invalidate cached state after a schema change.
+
+        Plans and runners always go (the historical behavior).  When
+        the DDL targets a table the attached model reads — DROP TABLE
+        TOKEN under an NER model — the model is now a ghost (its graph
+        holds variables for rows that no longer exist), so the live
+        state and the attached model/chain are detached too.  This
+        applies whether or not the model is live-capable (a Gibbs
+        chain over a dropped table is just as much a ghost); a model
+        without a ``tables`` declaration is poisoned conservatively on
+        any DDL.
+        """
+        self._plans.clear()
+        self._drop_runners(parallel=False)
+        self._drop_runners(parallel=True)
+        if self._chain is None and self._model is None:
+            return
+        target = (
+            resolve_live_model(self._model)
+            if self._model is not None
+            else None
+        ) or self._model
+        declared = {t.lower() for t in getattr(target, "tables", ()) or ()}
+        table = getattr(stmt, "table", None)
+        if table is None or not declared or table.lower() in declared:
+            self._live = None
+            self._chain = None
+            self._model = None
+
+    # ------------------------------------------------------------------
+    # Live updates (DML routing)
+    # ------------------------------------------------------------------
+    def _after_dml(self, delta: Delta) -> None:
+        """Repair-or-invalidate cached probabilistic state after DML.
+
+        The invariant this enforces: **after any world-changing DML, no
+        cached runner keeps serving marginals that predate the
+        update.**
+
+        * The attached live-capable model (if any) repairs its factor
+          graph in place — chain state for untouched variables carries
+          over, fresh/touched variables are locally re-burned.
+        * Single-chain runners share this session's database: their
+          materialized views fold the delta in automatically, so they
+          are *re-pooled* (estimators reset, repaired world counted as
+          the fresh initial sample) when a repair happened, and
+          invalidated otherwise.
+        * Parallel and sharded runners hold independent world copies
+          (possibly in worker processes) that the DML never reached:
+          they are always invalidated.  On the next execution, sharded
+          runners re-split the session's current database; parallel
+          runners rebuild through the chain factory — from the current
+          world when the factory supports ``rebased`` (e.g.
+          :class:`~repro.ie.ner.pdb.SeededChainFactory`), otherwise
+          from whatever world the factory itself encodes (fresh
+          estimators either way; keeping an opaque factory's world
+          current is the caller's contract).
+
+        A failed repair invalidates everything and re-raises: the
+        cached runners are disposed **and the attached model/chain are
+        detached** — repair is not transactional, so a hook that died
+        mid-edit leaves the model half-repaired and nothing may keep
+        sampling from it.  The DML itself committed (the *model*
+        rejected it, not the database); probabilistic execution then
+        requires fixing the data or attaching a fresh model, after
+        which factory-based parallel/sharded execution rebuilds from
+        the current database by itself.
+        """
+        if delta.is_empty():
+            return
+        repair = None
+        if self._live is not None:
+            try:
+                repair = self._live.on_dml(delta)
+            except Exception:
+                self._live = None
+                self._chain = None
+                self._model = None
+                self._drop_runners(parallel=False)
+                self._drop_runners(parallel=True)
+                raise
+        self._drop_runners(parallel=True)
+        for key in list(self._runners):  # single-chain runners remain
+            runner = self._runners[key]
+            if repair is not None and hasattr(runner, "notify_repair"):
+                runner.notify_repair(repair)
+            else:
+                _dispose_runner(self._runners.pop(key))
+
+    @property
+    def live_runner(self) -> Optional[LiveRunner]:
+        """The live-update orchestrator for the attached model, or
+        ``None`` when the model cannot repair itself from deltas."""
+        return self._live
 
     # ------------------------------------------------------------------
     # Statement routing
@@ -429,13 +577,11 @@ class Session:
         key, kind, payload = self._route(sql)
         if kind == "ddl":
             execute_statement(self.database, payload)
-            # Schema changed: cached plans and view state may be stale.
-            self._plans.clear()
-            self._drop_runners(parallel=False)
-            self._drop_runners(parallel=True)
+            self._after_ddl(payload)
             return Cursor(statement_kind="ddl", rowcount=0)
         if kind == "dml":
-            rowcount = execute_statement(self.database, payload)
+            rowcount, delta = execute_dml(self.database, payload)
+            self._after_dml(delta)
             return Cursor(statement_kind="dml", rowcount=rowcount)
 
         plan: PlanNode = payload
@@ -478,12 +624,13 @@ class Session:
                     rows=evaluate_rows(plan, self.database),
                     columns=columns,
                 )
+            elif stmt.kind == "dml":
+                rowcount, delta = execute_dml(self.database, stmt)
+                self._after_dml(delta)
+                cursor = Cursor(statement_kind="dml", rowcount=rowcount)
             else:
                 rowcount = execute_statement(self.database, stmt)
-                if stmt.kind == "ddl":
-                    self._plans.clear()
-                    self._drop_runners(parallel=False)
-                    self._drop_runners(parallel=True)
+                self._after_ddl(stmt)
                 cursor = Cursor(statement_kind=stmt.kind, rowcount=rowcount)
         return cursor
 
@@ -587,8 +734,16 @@ class Session:
             runner_key = (key, "parallel", chains, backend, evaluator_cls.__name__)
             runner = self._evict_if_dead(runner_key)
             if runner is None:
+                factory = self._chain_factory
+                # Live updates: a factory that can rebase builds its
+                # chains from the session's *current* world, so a
+                # runner rebuilt after DML invalidation samples the
+                # updated database, not the factory's baked-in corpus.
+                rebase = getattr(factory, "rebased", None)
+                if rebase is not None:
+                    factory = rebase(self.database.snapshot())
                 runner = _ParallelRunner(
-                    self._chain_factory, sql, plan, chains, backend, evaluator_cls
+                    factory, sql, plan, chains, backend, evaluator_cls
                 )
                 self._runners[runner_key] = runner
             return runner
@@ -600,7 +755,14 @@ class Session:
         runner_key = (key, evaluator)
         runner = self._runners.get(runner_key)
         if runner is None:
-            runner = _ChainRunner(evaluator_cls(self.database, self._chain, [plan]))
+            # The materialized strategy gets the repair-aware subclass
+            # so DML on a live model re-pools instead of invalidating.
+            cls = (
+                IncrementalEvaluator
+                if evaluator_cls is MaterializedEvaluator
+                else evaluator_cls
+            )
+            runner = _ChainRunner(cls(self.database, self._chain, [plan]))
             self._runners[runner_key] = runner
         return runner
 

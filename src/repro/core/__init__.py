@@ -24,6 +24,13 @@ from repro.core.backends import (
 )
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
 from repro.core.ground_truth import estimate_ground_truth
+from repro.core.live import (
+    IncrementalEvaluator,
+    LiveRunner,
+    graph_signature,
+    resolve_live_model,
+    supports_live_repair,
+)
 from repro.core.marginals import MarginalEstimator
 from repro.core.materialized import MaterializedEvaluator
 from repro.core.metrics import (
@@ -49,10 +56,15 @@ __all__ = [
     "ProcessPoolBackend",
     "SequentialBackend",
     "make_backend",
+    "IncrementalEvaluator",
+    "LiveRunner",
     "LossTrace",
     "MarginalEstimator",
     "MaterializedEvaluator",
     "NaiveEvaluator",
+    "graph_signature",
+    "resolve_live_model",
+    "supports_live_repair",
     "ParallelEvaluator",
     "QueryEvaluator",
     "ShardChainFactory",

@@ -109,6 +109,15 @@ class QueryEvaluator:
         """Current answers of all queries for the present world."""
         raise NotImplementedError
 
+    def notify_repair(self, repair) -> None:
+        """Re-pool after a live graph repair (:mod:`repro.core.live`):
+        the posterior changed, so recorded samples no longer estimate
+        it.  Resets every estimator in place — anytime cursors holding
+        them observe the reset.  Subclasses with additional per-update
+        state extend this."""
+        for estimator in self.estimators:
+            estimator.reset()
+
     # ------------------------------------------------------------------
     def run(
         self,

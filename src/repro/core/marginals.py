@@ -126,6 +126,16 @@ class MarginalEstimator:
         out._samples = samples
         return out
 
+    def reset(self) -> None:
+        """Forget every recorded sample, in place.
+
+        Live updates re-pool estimators after a graph repair: the
+        posterior changed, so pre-update samples no longer estimate it.
+        In-place (rather than swapping in a fresh object) so anytime
+        cursors already holding this estimator observe the reset."""
+        self._counts.clear()
+        self._samples = 0
+
     def copy(self) -> "MarginalEstimator":
         out = MarginalEstimator()
         out._counts = dict(self._counts)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, List, Tuple
 
 from repro.db.database import Database
+from repro.db.delta import Delta
 from repro.db.ra.ast import Expr
 from repro.db.schema import Attribute, Schema
 from repro.db.sql.ast import (
@@ -25,7 +26,7 @@ from repro.db.sql.ast import (
 )
 from repro.errors import IntegrityError, QueryError
 
-__all__ = ["execute_statement"]
+__all__ = ["execute_statement", "execute_dml"]
 
 Row = Tuple[Any, ...]
 
@@ -54,6 +55,24 @@ def execute_statement(db: Database, stmt: Statement) -> int:
         f"statement {type(stmt).__name__} is not executable here; "
         "SELECT goes through the compiler"
     )
+
+
+def execute_dml(db: Database, stmt: Statement) -> Tuple[int, Delta]:
+    """Execute one DML statement and return ``(rowcount, delta)``.
+
+    The delta is the statement's (Δ−, Δ+) — the same signed multisets
+    MCMC world transitions produce — captured through a transient
+    recorder.  Live subscribers (:class:`repro.core.live.LiveRunner`
+    via the session) repair their factor graphs from it instead of
+    rebuilding from scratch.  Statements are atomic (validated before
+    any mutation), so an exception implies an empty delta.
+    """
+    recorder = db.attach_recorder()
+    try:
+        rowcount = execute_statement(db, stmt)
+    finally:
+        db.detach_recorder(recorder)
+    return rowcount, recorder.pop()
 
 
 # ----------------------------------------------------------------------
@@ -93,7 +112,9 @@ def _constant(expr: Expr) -> Any:
 def _insert(db: Database, stmt: InsertStmt) -> int:
     table = db.table(stmt.table)
     schema = table.schema
-    # Validate the whole batch before inserting any of it.
+    # Validate the whole batch before inserting any of it — types AND
+    # primary-key uniqueness (against the table and within the batch),
+    # so a failure on row N cannot leave rows 1..N-1 half-applied.
     stored: List[Row] = []
     for value_exprs in stmt.rows:
         values = [_constant(e) for e in value_exprs]
@@ -101,6 +122,16 @@ def _insert(db: Database, stmt: InsertStmt) -> int:
             stored.append(schema.validate_row(values))
         else:
             stored.append(schema.row_from_dict(dict(zip(stmt.columns, values))))
+    if schema.key:
+        claimed: set = set()
+        for row in stored:
+            pk = schema.key_of(row)
+            if pk in claimed or table.contains_key(pk):
+                raise IntegrityError(
+                    f"insert would duplicate primary key {pk!r} "
+                    f"in table {table.name!r}"
+                )
+            claimed.add(pk)
     for row in stored:
         table.insert(row)
     return len(stored)

@@ -58,6 +58,12 @@ class EvaluationError(ReproError):
     """Query evaluation over the probabilistic database failed."""
 
 
+class LiveUpdateError(ReproError):
+    """A DML-driven incremental repair of the attached model failed;
+    the model may be inconsistent with the stored world and cached
+    probabilistic state has been invalidated."""
+
+
 class ShardingError(ReproError):
     """A database could not be partitioned into independent shards
     (missing shard key, unassigned key value, a factor spanning shards,

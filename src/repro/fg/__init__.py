@@ -15,7 +15,7 @@ from repro.fg.factors import (
     TableFactor,
 )
 from repro.fg.features import FeatureVector, accumulate, scale, subtract, unit
-from repro.fg.graph import FactorGraph
+from repro.fg.graph import FactorGraph, GraphRepair
 from repro.fg.relational import bind_field_variables, flush_all, reload_all
 from repro.fg.templates import PairwiseTemplate, Template, UnaryTemplate, dedup_factors
 from repro.fg.variables import (
@@ -34,6 +34,7 @@ __all__ = [
     "FactorGraph",
     "FeatureVector",
     "FieldVariable",
+    "GraphRepair",
     "HiddenVariable",
     "LogLinearFactor",
     "ObservedVariable",

@@ -19,6 +19,14 @@ disables both layers to recover the uncached reference behaviour
 code that mutates ``graph.templates`` in place after scoring has
 started must call :meth:`clear_caches` for the change to take effect.
 
+Graphs are also **mutable in place** (live updates, ISSUE 5):
+:meth:`add_variables` / :meth:`remove_variables` /
+:meth:`add_factors` / :meth:`remove_factors` apply incremental edits
+driven by relational deltas, invalidating the caches above only for
+touched variables (:meth:`invalidate_adjacency`); per-model repair
+hooks (``repair_from_delta``) produce the edits and a
+:class:`GraphRepair` record for the live runner.
+
 For small graphs the class also offers exact enumeration utilities
 (:meth:`enumerate_assignments`, :meth:`exact_marginals`) used by the
 test suite to validate that MCMC converges to the true distribution.
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import GraphError
@@ -35,9 +44,45 @@ from repro.fg.factors import Factor
 from repro.fg.templates import Template, dedup_factors
 from repro.fg.variables import HiddenVariable
 
-__all__ = ["FactorGraph"]
+__all__ = ["FactorGraph", "GraphRepair"]
 
 Assignment = Tuple[Any, ...]
+
+
+@dataclass
+class GraphRepair:
+    """The record of one incremental graph edit (a live-update step).
+
+    Produced by per-model repair hooks (``repair_from_delta``) and
+    consumed by :class:`repro.core.live.LiveRunner`:
+
+    * ``added`` — hidden variables newly inserted into the graph
+      (initialized from the stored world, still cold);
+    * ``removed`` — names of variables deleted from the graph;
+    * ``touched`` — surviving variables whose factor neighbourhood or
+      evidence changed, so their chain state is suspect.
+
+    ``added + touched`` (:meth:`local_variables`) is the set a live
+    runner re-burns locally; everything else carries its chain state
+    over — the paper's claim that updates are cheap under MCMC.
+    """
+
+    added: List[HiddenVariable] = field(default_factory=list)
+    removed: List[Hashable] = field(default_factory=list)
+    touched: List[HiddenVariable] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.touched)
+
+    def local_variables(self) -> List[HiddenVariable]:
+        """Variables needing local re-burn, deduplicated, added first."""
+        out: List[HiddenVariable] = []
+        seen = set()
+        for variable in itertools.chain(self.added, self.touched):
+            if variable.name not in seen:
+                seen.add(variable.name)
+                out.append(variable)
+        return out
 
 
 class FactorGraph:
@@ -113,6 +158,155 @@ class FactorGraph:
         self._flat_adjacency.clear()
         for template in self.templates:
             template.clear_cache()
+
+    # ------------------------------------------------------------------
+    # Incremental mutation (live updates)
+    # ------------------------------------------------------------------
+    def invalidate_adjacency(
+        self, variables: Iterable[Any], scan: bool = True
+    ) -> None:
+        """Drop cached adjacency and pooled factor instances for the
+        given variables (or names) only — the targeted counterpart of
+        :meth:`clear_caches` used by live repair, so a DML-driven edit
+        costs O(touched) instead of rebuilding every cache.
+
+        With ``scan=True`` (the safe default), any *cached* entry that
+        still references an invalidated variable is evicted too (a
+        removed variable's former partners cannot keep serving factors
+        over it) — an O(cached entries) sweep.  Pure additions pass
+        ``scan=False``: a factor over a brand-new variable cannot
+        appear in any cache built before it existed, so the named pops
+        suffice.  Callers must still name variables whose neighbourhood
+        *gained* a factor — a stale cache cannot reference a variable
+        it has never seen.
+        """
+        names = {getattr(v, "name", v) for v in variables}
+        if not names:
+            return
+        for name in names:
+            self._static_adjacency.pop(name, None)
+            self._flat_adjacency.pop(name, None)
+        if scan:
+            stale = [
+                key
+                for key, flat in self._flat_adjacency.items()
+                if any(v.name in names for f in flat for v in f.variables)
+            ]
+            for key in stale:
+                del self._flat_adjacency[key]
+            stale = [
+                key
+                for key, entry in self._static_adjacency.items()
+                if any(
+                    v.name in names
+                    for factors in entry
+                    if factors
+                    for f in factors
+                    for v in f.variables
+                )
+            ]
+            for key in stale:
+                del self._static_adjacency[key]
+        for template in self.templates:
+            template.invalidate(names, scan=scan)
+
+    def add_variables(
+        self,
+        variables: Sequence[HiddenVariable],
+        touched: Iterable[HiddenVariable] = (),
+        index: int | None = None,
+    ) -> None:
+        """Insert hidden variables into the graph in place.
+
+        ``touched`` names existing variables whose factor neighbourhood
+        the additions changed (their cached adjacency is invalidated
+        along with the new variables').  ``index`` inserts at a given
+        position of :attr:`variables` — repair hooks use it to keep the
+        variable ordering identical to a from-scratch rebuild, so
+        repaired and rebuilt graphs score bit-identically.
+
+        Templates must already know how to instantiate factors around
+        the new variables (the model updates its structure maps first,
+        then edits the graph).
+        """
+        new = list(variables)
+        if not new:
+            return
+        for variable in new:
+            if variable.name in self._by_name:
+                raise GraphError(
+                    f"variable {variable.name!r} is already in the graph"
+                )
+            self._by_name[variable.name] = variable
+        if index is None:
+            self.variables.extend(new)
+        else:
+            self.variables[index:index] = new
+        # Pure addition: nothing cached can reference the new
+        # variables, so the partner-eviction scan is unnecessary.
+        self.invalidate_adjacency(itertools.chain(new, touched), scan=False)
+
+    def remove_variables(
+        self,
+        variables: Iterable[Any],
+        touched: Iterable[HiddenVariable] = (),
+    ) -> None:
+        """Remove hidden variables (or names) from the graph in place.
+
+        ``touched`` names surviving variables whose neighbourhood the
+        removals changed.  Templates must no longer yield factors over
+        the removed variables when queried for the survivors (model
+        structure maps are repaired first)."""
+        names = {getattr(v, "name", v) for v in variables}
+        if not names:
+            return
+        for name in names:
+            if name not in self._by_name:
+                raise GraphError(f"no hidden variable named {name!r}")
+        if len(self.variables) - len(names) < 1:
+            raise GraphError(
+                "cannot remove every variable: a factor graph needs at "
+                "least one hidden variable"
+            )
+        self.variables = [v for v in self.variables if v.name not in names]
+        for name in names:
+            del self._by_name[name]
+        self.invalidate_adjacency(itertools.chain(names, touched))
+
+    def find(self, name: Hashable) -> HiddenVariable | None:
+        """The hidden variable named ``name``, or ``None`` (the
+        non-raising sibling of :meth:`variable`, used by repair hooks
+        to classify delta rows)."""
+        return self._by_name.get(name)
+
+    def add_factors(self, factors: Iterable[Factor]) -> None:
+        """Declare that ``factors`` now exist in the unrolled graph:
+        every hidden endpoint's cached adjacency is invalidated so the
+        next scoring call re-instantiates through the templates.  A
+        factor appears only in its own endpoints' cache entries, so the
+        named pops suffice (no partner scan)."""
+        self.invalidate_adjacency(
+            (
+                v
+                for factor in factors
+                for v in factor.variables
+                if isinstance(v, HiddenVariable)
+            ),
+            scan=False,
+        )
+
+    def remove_factors(self, factors: Iterable[Factor]) -> None:
+        """Declare that ``factors`` no longer exist in the unrolled
+        graph (same cache contract as :meth:`add_factors`)."""
+        self.invalidate_adjacency(
+            (
+                v
+                for factor in factors
+                for v in factor.variables
+                if isinstance(v, HiddenVariable)
+            ),
+            scan=False,
+        )
 
     # ------------------------------------------------------------------
     # Factor instantiation

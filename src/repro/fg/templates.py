@@ -90,6 +90,16 @@ class Template:
     def clear_cache(self) -> None:
         """Drop pooled instances (rebuilt lazily); no-op by default."""
 
+    def invalidate(self, names: Iterable[Hashable], scan: bool = True) -> None:
+        """Drop cached state for the named variables only (live graph
+        repair).  ``scan=False`` promises the names are brand-new (or
+        only gained factors), so no cached entry of *another* variable
+        can reference them and partner-eviction sweeps may be skipped.
+        The default implementation clears everything — correct for any
+        subclass; the generic templates override with targeted
+        eviction so a repair costs O(touched)."""
+        self.clear_cache()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
 
@@ -126,6 +136,10 @@ class UnaryTemplate(Template):
 
     def clear_cache(self) -> None:
         self._pool.clear()
+
+    def invalidate(self, names: Iterable[Hashable], scan: bool = True) -> None:
+        for name in names:
+            self._pool.pop(name, None)
 
     def factors_for(self, variable: HiddenVariable) -> Tuple[Factor, ...]:
         if not self._cache_enabled:
@@ -190,6 +204,41 @@ class PairwiseTemplate(Template):
         self._pool.clear()
         self._adjacent.clear()
         self._order_keys.clear()
+
+    def evict_pair(self, a: Hashable, b: Hashable) -> None:
+        """Drop the pooled instance for one endpoint pair (either
+        order).  Live repair calls this for factors *dissolved between
+        two surviving variables* — e.g. the transition edge severed by
+        a mid-document insert — which targeted `invalidate(...,
+        scan=False)` cannot see and the removal sweep never visits;
+        without it, dead instances (and their score memos) would
+        accumulate in the pool for the graph's lifetime."""
+        self._pool.pop((a, b), None)
+        self._pool.pop((b, a), None)
+
+    def invalidate(self, names: Iterable[Hashable], scan: bool = True) -> None:
+        nameset = set(names)
+        for name in nameset:
+            self._adjacent.pop(name, None)
+            self._order_keys.pop(name, None)
+        if not scan:
+            return
+        stale = [
+            key
+            for key in self._pool
+            if key[0] in nameset or key[1] in nameset
+        ]
+        for key in stale:
+            del self._pool[key]
+        # Cached adjacency of *partners* still referencing an
+        # invalidated variable (a removed variable's old neighbours).
+        stale = [
+            key
+            for key, factors in self._adjacent.items()
+            if any(v.name in nameset for f in factors for v in f.variables)
+        ]
+        for key in stale:
+            del self._adjacent[key]
 
     def factors_for(self, variable: HiddenVariable) -> Sequence[Factor]:
         if self.dynamic or not self._cache_enabled:

@@ -19,14 +19,16 @@ exactly the constraint-preserving design of §3.4.
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.db.database import Database
+from repro.db.delta import Delta
 from repro.errors import GraphError
 from repro.fg.domain import Domain
 from repro.fg.features import FeatureVector
-from repro.fg.graph import FactorGraph
+from repro.fg.graph import FactorGraph, GraphRepair
 from repro.fg.templates import PairwiseTemplate
 from repro.fg.variables import FieldVariable, HiddenVariable
 from repro.fg.weights import Weights
@@ -93,14 +95,21 @@ class CorefModel:
 
     The MENTION table needs attributes (MENTION_ID, STRING, CLUSTER,
     TRUTH); CLUSTER is the uncertain field.  Cluster ids range over
-    ``0 .. num_mentions-1`` so any partition is representable.
+    ``0 .. num_mentions-1`` so any partition is representable; an
+    explicit ``domain`` overrides that default (rebuilding a model over
+    a live database whose cluster ids outgrew the mention count — the
+    repair path only ever *grows* the domain).
     """
+
+    #: Relations this model reads — DML deltas on them require repair.
+    tables = (MENTION_TABLE,)
 
     def __init__(
         self,
         db: Database,
         weights: Weights | None = None,
         use_repulsion: bool = True,
+        domain: Optional[Domain] = None,
     ):
         self.db = db
         self.weights = weights if weights is not None else default_coref_weights()
@@ -114,7 +123,9 @@ class CorefModel:
         if not rows:
             raise GraphError("MENTION relation is empty")
 
-        self.domain = Domain("clusters", range(len(rows)))
+        self.domain = (
+            domain if domain is not None else Domain("clusters", range(len(rows)))
+        )
         self.variables: List[FieldVariable] = []
         self._strings: Dict[Hashable, str] = {}
         self.gold_entity: Dict[Hashable, int] = {}
@@ -162,6 +173,142 @@ class CorefModel:
         for variable in self.variables:
             out[self.gold_entity[variable.name]].add(variable.name)
         return {frozenset(group) for group in out.values()}
+
+    # ------------------------------------------------------------------
+    # Live repair (DML-driven graph edits)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _surname(string: str) -> str | None:
+        tokens = string.replace(".", "").split()
+        return tokens[-1] if tokens else None
+
+    def repair_from_delta(self, delta: Delta) -> GraphRepair:
+        """Map a MENTION delta to incremental graph edits.
+
+        Inserted mentions become fresh cluster variables (the domain
+        grows monotonically to keep every partition representable);
+        deleted mentions leave the graph; STRING updates are structural
+        (the candidate blocking changes — delete + insert); CLUSTER
+        updates re-sync the in-memory world (evidence assignment);
+        TRUTH updates only adjust the gold partition.
+
+        Both templates are *dynamic*, so no factor caches exist to
+        invalidate — repair reduces to membership and candidate-list
+        maintenance.  Mention-id ordering is preserved, so the repaired
+        graph scores bit-identically to a model rebuilt over the
+        updated relation (given the same domain).
+        """
+        repair = GraphRepair()
+        changes = delta.for_table(MENTION_TABLE)
+        if changes.is_empty():
+            return repair
+        schema = self.db.table(MENTION_TABLE).schema
+        pos_id = schema.position("MENTION_ID")
+        pos_str = schema.position("STRING")
+        pos_cluster = schema.position("CLUSTER")
+        pos_truth = schema.position("TRUTH")
+
+        removed_rows: Dict[int, tuple] = {}
+        added_rows: Dict[int, tuple] = {}
+        for row, count in changes.items():
+            if count < 0:
+                removed_rows[row[pos_id]] = row
+            elif count > 0:
+                added_rows[row[pos_id]] = row
+
+        to_remove: List[FieldVariable] = []
+        to_insert: List[tuple] = []
+        for mention_id in sorted(set(removed_rows) & set(added_rows)):
+            old = removed_rows.pop(mention_id)
+            new = added_rows.pop(mention_id)
+            variable = self.graph.find((MENTION_TABLE, (mention_id,), "CLUSTER"))
+            if variable is None:
+                to_insert.append(new)
+                continue
+            if old[pos_str] != new[pos_str]:
+                to_remove.append(variable)
+                to_insert.append(new)
+                continue
+            if new[pos_truth] != old[pos_truth]:
+                self.gold_entity[variable.name] = new[pos_truth]
+            if new[pos_cluster] != variable.value:
+                # Evidence assignment: the stored clustering moved.
+                self._grow_domain(new[pos_cluster] + 1)
+                variable.set_value(new[pos_cluster])
+                repair.touched.append(variable)
+        for mention_id in sorted(removed_rows):
+            variable = self.graph.find((MENTION_TABLE, (mention_id,), "CLUSTER"))
+            if variable is not None:
+                to_remove.append(variable)
+        for mention_id in sorted(added_rows):
+            to_insert.append(added_rows[mention_id])
+        if not to_remove and not to_insert:
+            return repair
+
+        affected_surnames = set()
+        if to_remove:
+            removed_names = {v.name for v in to_remove}
+            for variable in to_remove:
+                name = variable.name
+                affected_surnames.add(self._surname(self._strings[name]))
+                del self._strings[name]
+                self.gold_entity.pop(name, None)
+                self._candidates.pop(name, None)
+                repair.removed.append(name)
+            self.variables = [
+                v for v in self.variables if v.name not in removed_names
+            ]
+            self.graph.remove_variables(to_remove)
+
+        inserted: List[FieldVariable] = []
+        for row in sorted(to_insert, key=lambda r: r[pos_id]):
+            self._grow_domain(
+                max(len(self.variables) + 1, row[pos_cluster] + 1)
+            )
+            variable = FieldVariable(
+                self.db, MENTION_TABLE, (row[pos_id],), "CLUSTER", self.domain
+            )
+            index = bisect.bisect_left(
+                self.variables, row[pos_id], key=lambda v: v.pk[0]
+            )
+            self.variables.insert(index, variable)
+            self.graph.add_variables([variable], index=index)
+            self._strings[variable.name] = row[pos_str]
+            self.gold_entity[variable.name] = row[pos_truth]
+            affected_surnames.add(self._surname(row[pos_str]))
+            inserted.append(variable)
+        repair.added.extend(inserted)
+
+        new_names = {v.name for v in inserted}
+        affected_surnames.discard(None)
+        for surname in sorted(affected_surnames):
+            members = [
+                v
+                for v in self.variables
+                if self._surname(self._strings[v.name]) == surname
+            ]
+            for variable in members:
+                others = [m for m in members if m is not variable]
+                old = self._candidates.get(variable.name, ())
+                changed = [m.name for m in old] != [m.name for m in others]
+                if others:
+                    self._candidates[variable.name] = others
+                else:
+                    self._candidates.pop(variable.name, None)
+                if changed and variable.name not in new_names:
+                    repair.touched.append(variable)
+        return repair
+
+    def _grow_domain(self, size: int) -> None:
+        """Grow the shared cluster domain to ``range(size)`` and rebind
+        every variable.  Monotonic — cluster ids in use stay valid; the
+        pair query is label-invariant, so extra ids only add redundant
+        relabelings of the same partitions."""
+        if size <= len(self.domain):
+            return
+        self.domain = Domain("clusters", range(size))
+        for variable in self.variables:
+            variable.domain = self.domain
 
     # ------------------------------------------------------------------
     # Bound methods rather than closures so the model (and any chain

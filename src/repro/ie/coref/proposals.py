@@ -35,6 +35,10 @@ class MoveMentionProposer(ProposalDistribution):
     """Relocate one mention; symmetric at partition level."""
 
     def __init__(self, variables: Sequence[HiddenVariable]):
+        self.set_variables(variables)
+
+    def set_variables(self, variables: Sequence[HiddenVariable]) -> None:
+        """Replace the mention set in place (live updates)."""
         if len(variables) < 2:
             raise InferenceError("need at least two mentions")
         self._variables = list(variables)
@@ -62,6 +66,10 @@ class SplitMergeProposer(ProposalDistribution):
     """The paper's split-merge kernel with exact acceptance ratios."""
 
     def __init__(self, variables: Sequence[HiddenVariable]):
+        self.set_variables(variables)
+
+    def set_variables(self, variables: Sequence[HiddenVariable]) -> None:
+        """Replace the mention set in place (live updates)."""
         if len(variables) < 2:
             raise InferenceError("need at least two mentions")
         self._variables = list(variables)

@@ -21,14 +21,16 @@ SampleRank (:mod:`repro.learn.samplerank`).
 
 from __future__ import annotations
 
+import bisect
 import math
 from collections import Counter, defaultdict
 from typing import Dict, Hashable, List, Tuple
 
 from repro.db.database import Database
+from repro.db.delta import Delta
 from repro.errors import GraphError
 from repro.fg.domain import Domain
-from repro.fg.graph import FactorGraph
+from repro.fg.graph import FactorGraph, GraphRepair
 from repro.fg.templates import PairwiseTemplate, UnaryTemplate
 from repro.fg.variables import FieldVariable, HiddenVariable
 from repro.ie.ner.labels import LABEL_DOMAIN, LABELS, OUTSIDE
@@ -65,6 +67,9 @@ class SkipChainNerModel:
         "the").
     """
 
+    #: Relations this model reads — DML deltas on them require repair.
+    tables = (TOKEN_TABLE,)
+
     def __init__(
         self,
         db: Database,
@@ -76,6 +81,7 @@ class SkipChainNerModel:
         self.db = db
         self.weights = weights if weights is not None else Weights()
         self.use_skip = use_skip
+        self.skip_capitalized_only = skip_capitalized_only
         self.domain = domain
 
         table = db.table(TOKEN_TABLE)
@@ -92,6 +98,7 @@ class SkipChainNerModel:
         self.variables: List[FieldVariable] = []
         self._strings: Dict[Hashable, str] = {}
         self._positions: Dict[Hashable, int] = {}
+        self._doc_of: Dict[Hashable, int] = {}
         self.truth: Dict[Hashable, str] = {}
         self.groups: Dict[int, List[FieldVariable]] = defaultdict(list)
         by_doc: Dict[int, List[Tuple[int, FieldVariable]]] = defaultdict(list)
@@ -102,6 +109,7 @@ class SkipChainNerModel:
             self._strings[variable.name] = row[pos_str]
             self.truth[variable.name] = row[pos_truth]
             doc = row[pos_doc]
+            self._doc_of[variable.name] = doc
             self.groups[doc].append(variable)
             by_doc[doc].append((row[pos_tok], variable))
 
@@ -193,6 +201,10 @@ class SkipChainNerModel:
         # corpus) and their features read only the endpoints' label
         # values plus per-token constants, so stable_features=True lets
         # every factor memoize (label values) -> score across the walk.
+        self._transition_template = PairwiseTemplate(
+            TRANSITION, self.weights, self._chain_neighbors,
+            self._transition_features, stable_features=True,
+        )
         templates = [
             UnaryTemplate(
                 EMISSION, self.weights, self._emission_features,
@@ -201,19 +213,207 @@ class SkipChainNerModel:
             UnaryTemplate(
                 BIAS, self.weights, self._bias_features, stable_features=True
             ),
-            PairwiseTemplate(
-                TRANSITION, self.weights, self._chain_neighbors,
-                self._transition_features, stable_features=True,
-            ),
+            self._transition_template,
         ]
+        self._skip_template = None
         if self.use_skip:
-            templates.append(
-                PairwiseTemplate(
-                    SKIP, self.weights, self._skip_neighbors,
-                    self._skip_features, stable_features=True,
-                )
+            self._skip_template = PairwiseTemplate(
+                SKIP, self.weights, self._skip_neighbors,
+                self._skip_features, stable_features=True,
             )
+            templates.append(self._skip_template)
         return templates
+
+    # ------------------------------------------------------------------
+    # Live repair (DML-driven graph edits)
+    # ------------------------------------------------------------------
+    def repair_from_delta(self, delta: Delta) -> GraphRepair:
+        """Map a database delta to incremental graph edits.
+
+        Inserted TOKEN rows become fresh hidden variables wired into
+        their document's transition chain and skip groups; deleted rows
+        leave the graph with their neighbours re-linked; updates that
+        change STRING or DOC_ID are structural (delete + insert), while
+        LABEL-only updates re-sync the in-memory world (the user set
+        evidence) and TRUTH-only updates touch nothing statistical.
+
+        Variable ordering (global TOK_ID order, the constructor's
+        invariant) is preserved, so the repaired graph enumerates
+        factors — and therefore scores — **bit-identically** to a
+        from-scratch rebuild over the updated TOKEN relation.  Cache
+        invalidation is confined to variables whose neighbourhood
+        actually changed.
+        """
+        repair = GraphRepair()
+        changes = delta.for_table(TOKEN_TABLE)
+        if changes.is_empty():
+            return repair
+        schema = self.db.table(TOKEN_TABLE).schema
+        pos_tok = schema.position("TOK_ID")
+        pos_doc = schema.position("DOC_ID")
+        pos_str = schema.position("STRING")
+        pos_label = schema.position("LABEL")
+        pos_truth = schema.position("TRUTH")
+
+        removed_rows: Dict[int, tuple] = {}
+        added_rows: Dict[int, tuple] = {}
+        for row, count in changes.items():
+            if count < 0:
+                removed_rows[row[pos_tok]] = row
+            elif count > 0:
+                added_rows[row[pos_tok]] = row
+
+        to_remove: List[FieldVariable] = []
+        to_insert: List[tuple] = []
+        for tok_id in sorted(set(removed_rows) & set(added_rows)):
+            old = removed_rows.pop(tok_id)
+            new = added_rows.pop(tok_id)
+            variable = self.graph.find((TOKEN_TABLE, (tok_id,), "LABEL"))
+            if variable is None:
+                to_insert.append(new)
+                continue
+            if old[pos_doc] != new[pos_doc] or old[pos_str] != new[pos_str]:
+                to_remove.append(variable)
+                to_insert.append(new)
+                continue
+            if new[pos_truth] != old[pos_truth]:
+                self.truth[variable.name] = new[pos_truth]
+            if new[pos_label] != variable.value:
+                # Evidence assignment: the stored world moved under us.
+                variable.set_value(new[pos_label])
+                repair.touched.append(variable)
+        for tok_id in sorted(removed_rows):
+            variable = self.graph.find((TOKEN_TABLE, (tok_id,), "LABEL"))
+            if variable is not None:
+                to_remove.append(variable)
+        for tok_id in sorted(added_rows):
+            to_insert.append(added_rows[tok_id])
+        if not to_remove and not to_insert:
+            return repair
+
+        affected_docs = set()
+        removed_names = set()
+        for variable in to_remove:
+            name = variable.name
+            doc = self._doc_of.pop(name)
+            group = self.groups[doc]
+            group.remove(variable)
+            if not group:
+                del self.groups[doc]
+            del self._strings[name]
+            self.truth.pop(name, None)
+            self._positions.pop(name, None)
+            self._prev.pop(name, None)
+            self._next.pop(name, None)
+            self._skip.pop(name, None)
+            affected_docs.add(doc)
+            removed_names.add(name)
+            repair.removed.append(name)
+
+        inserted: List[FieldVariable] = []
+        for row in sorted(to_insert, key=lambda r: r[pos_tok]):
+            variable = FieldVariable(
+                self.db, TOKEN_TABLE, (row[pos_tok],), "LABEL", self.domain
+            )
+            doc = row[pos_doc]
+            self._strings[variable.name] = row[pos_str]
+            self.truth[variable.name] = row[pos_truth]
+            self._doc_of[variable.name] = doc
+            bisect.insort(self.groups[doc], variable, key=lambda v: v.pk[0])
+            affected_docs.add(doc)
+            inserted.append(variable)
+        repair.added.extend(inserted)
+
+        # Re-derive the chain/skip structure of every affected document
+        # and record which surviving variables' neighbourhoods changed.
+        touched: Dict[Hashable, FieldVariable] = {}
+        for doc in sorted(affected_docs, key=repr):
+            self._rebuild_doc(doc, touched)
+        new_names = {v.name for v in inserted}
+        repair.touched.extend(
+            v for name, v in touched.items() if name not in new_names
+        )
+
+        # Graph edits last, preserving the global TOK_ID ordering so a
+        # repaired graph is indistinguishable from a rebuilt one.
+        if to_remove:
+            self.variables = [
+                v for v in self.variables if v.name not in removed_names
+            ]
+            self.graph.remove_variables(to_remove)
+        for variable in inserted:
+            index = bisect.bisect_left(
+                self.variables, variable.pk[0], key=lambda v: v.pk[0]
+            )
+            self.variables.insert(index, variable)
+            self.graph.add_variables([variable], index=index)
+        # Touched survivors: their own entries must rebuild, but any
+        # factor they share with *another* survivor is unchanged, and
+        # factors over removed variables were already swept by
+        # remove_variables — no partner scan needed.
+        self.graph.invalidate_adjacency(repair.touched, scan=False)
+        return repair
+
+    def _rebuild_doc(
+        self, doc: int, touched: Dict[Hashable, FieldVariable]
+    ) -> None:
+        """Recompute positions, transition links and skip groups of one
+        document from its current membership; survivors whose links
+        changed are added to ``touched``."""
+        ordered = self.groups.get(doc, ())
+        for i, variable in enumerate(ordered):
+            name = variable.name
+            prev = ordered[i - 1] if i > 0 else None
+            nxt = ordered[i + 1] if i + 1 < len(ordered) else None
+            old_prev = self._prev.get(name)
+            if old_prev is not prev:
+                if old_prev is not None:
+                    # Transition edge dissolved between two survivors:
+                    # drop its pooled instance (targeted invalidation
+                    # never sees a pair whose endpoints both live on).
+                    self._transition_template.evict_pair(name, old_prev.name)
+                if prev is None:
+                    self._prev.pop(name, None)
+                else:
+                    self._prev[name] = prev
+                touched[name] = variable
+            old_next = self._next.get(name)
+            if old_next is not nxt:
+                if old_next is not None:
+                    self._transition_template.evict_pair(name, old_next.name)
+                if nxt is None:
+                    self._next.pop(name, None)
+                else:
+                    self._next[name] = nxt
+                touched[name] = variable
+            self._positions[name] = i
+        same_string: Dict[str, List[FieldVariable]] = defaultdict(list)
+        for variable in ordered:
+            string = self._strings[variable.name]
+            if self.skip_capitalized_only and not string[:1].isupper():
+                continue
+            same_string[string].append(variable)
+        new_skip: Dict[Hashable, List[FieldVariable]] = {}
+        for mates in same_string.values():
+            if len(mates) < 2:
+                continue
+            for variable in mates:
+                new_skip[variable.name] = [m for m in mates if m is not variable]
+        for variable in ordered:
+            name = variable.name
+            old = self._skip.get(name, ())
+            new = new_skip.get(name, ())
+            if [m.name for m in old] != [m.name for m in new]:
+                touched[name] = variable
+                if self._skip_template is not None:
+                    new_names = {m.name for m in new}
+                    for mate in old:
+                        if mate.name not in new_names:
+                            self._skip_template.evict_pair(name, mate.name)
+            if new:
+                self._skip[name] = list(new)
+            else:
+                self._skip.pop(name, None)
 
     # ------------------------------------------------------------------
     # World manipulation

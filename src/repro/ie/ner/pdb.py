@@ -193,7 +193,14 @@ class NerTask:
     # ------------------------------------------------------------------
     def make_instance(self, chain_seed: int) -> NerInstance:
         """A fresh copy of the initial world with its own chain."""
-        db = Database.from_snapshot(self._snapshot, f"ner-chain{chain_seed}")
+        return self.instance_for_world(self._snapshot, chain_seed)
+
+    def instance_for_world(self, snapshot, chain_seed: int) -> NerInstance:
+        """An instance over a copy of an arbitrary world snapshot with
+        this task's weights and sampler knobs.  Live sessions use it to
+        launch parallel chains from the *current* (post-DML) database
+        rather than the task's initial corpus."""
+        db = Database.from_snapshot(snapshot, f"ner-chain{chain_seed}")
         return NerInstance(
             db,
             self.weights,
@@ -252,11 +259,28 @@ class SeededChainFactory:
     def __init__(self, task: NerTask, base_seed: int = 0, num_seeds: int = 1024):
         self.task = task
         self.base_seed = base_seed
+        self.world = None  # optional Snapshot overriding the initial corpus
         root = make_rng(base_seed)
         self.seeds = [spawn(root, i).randrange(2**31) for i in range(num_seeds)]
 
+    def rebased(self, snapshot) -> "SeededChainFactory":
+        """A copy of this factory that builds chains from ``snapshot``
+        instead of the task's initial corpus.  The session rebases the
+        factory on its current world when (re)building a parallel
+        runner, so chains launched after DML sample the updated
+        database rather than a stale snapshot."""
+        clone = SeededChainFactory.__new__(SeededChainFactory)
+        clone.task = self.task
+        clone.base_seed = self.base_seed
+        clone.seeds = list(self.seeds)
+        clone.world = snapshot
+        return clone
+
     def __call__(self, index: int) -> Tuple[Database, MarkovChain]:
-        instance = self.task.make_instance(self.seeds[index])
+        if self.world is None:
+            instance = self.task.make_instance(self.seeds[index])
+        else:
+            instance = self.task.instance_for_world(self.world, self.seeds[index])
         return instance.db, instance.chain
 
 

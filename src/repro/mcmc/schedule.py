@@ -44,24 +44,35 @@ class RotatingBatchProposer(ProposalDistribution):
         batch_size: int = 5,
         proposals_per_batch: int = 2000,
     ):
-        if not groups:
-            raise InferenceError("need at least one variable group")
         if batch_size < 1 or proposals_per_batch < 1:
             raise InferenceError("batch_size and proposals_per_batch must be >= 1")
-        self._group_ids: List[Hashable] = sorted(groups, key=repr)
-        self._groups = {g: list(vs) for g, vs in groups.items()}
-        for g, vs in self._groups.items():
-            if not vs:
-                raise InferenceError(f"group {g!r} has no variables")
         self.batch_size = batch_size
         self.proposals_per_batch = proposals_per_batch
+        self.rotations = 0
         self._inner: UniformLabelProposer | None = None
         self._since_rotation = 0
-        self.rotations = 0
+        self.set_groups(groups)
 
     @property
     def active_variables(self) -> list[HiddenVariable]:
         return self._inner.variables if self._inner is not None else []
+
+    def set_groups(self, groups: Dict[Hashable, Sequence[HiddenVariable]]) -> None:
+        """Replace the group map in place (live updates: documents gain
+        or lose tokens, appear, or vanish).  The active batch is
+        discarded — the next proposal rotates onto the fresh map, so no
+        stale variable can be proposed.  Also the constructor's group
+        normalization, so the two cannot drift."""
+        if not groups:
+            raise InferenceError("need at least one variable group")
+        replacement = {g: list(vs) for g, vs in groups.items()}
+        for g, vs in replacement.items():
+            if not vs:
+                raise InferenceError(f"group {g!r} has no variables")
+        self._group_ids: List[Hashable] = sorted(replacement, key=repr)
+        self._groups = replacement
+        self._inner = None
+        self._since_rotation = 0
 
     def _rotate(self, rng: random.Random) -> None:
         count = min(self.batch_size, len(self._group_ids))

@@ -1,0 +1,175 @@
+"""Property tests: incremental repair == from-scratch rebuild (ISSUE 5).
+
+Random DML sequences (INSERT / UPDATE / DELETE, executed as SQL through
+the session front door) drive live graph repair; afterwards the
+repaired factor graph must have the **identical variable ordering,
+factor key sequence, and total score** as a model rebuilt from scratch
+over the updated relation — the bit-identity contract of
+:func:`repro.core.live.graph_signature`.
+
+Runs under the pinned ``ci`` hypothesis profile (see tests/conftest.py
+and tests/README.md).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.live import graph_signature
+from repro.fg import Domain
+from repro.ie.coref.model import CorefModel, default_coref_weights
+from repro.ie.coref.pdb import build_mention_database
+from repro.ie.coref.proposals import MoveMentionProposer
+from repro.ie.ner.corpus import generate_corpus
+from repro.ie.ner.labels import LABELS
+from repro.ie.ner.model import SkipChainNerModel, fit_generative_weights
+from repro.ie.ner.pdb import build_token_database
+from repro.mcmc.chain import MarkovChain
+from repro.mcmc.metropolis import MetropolisHastings
+from repro.mcmc.proposal import UniformLabelProposer
+
+WORDS = ["Boston", "Clinton", "said", "the", "Acme", "Boston"]
+
+ner_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(0, 999),          # pk slot
+        st.integers(0, 3),            # doc
+        st.integers(0, len(WORDS) - 1),
+        st.integers(0, len(LABELS) - 1),
+    ),
+    max_size=25,
+)
+
+
+def ner_session(num_tokens=40, seed=5):
+    db = build_token_database(generate_corpus(num_tokens, seed=seed))
+    weights = fit_generative_weights(db)
+    model = SkipChainNerModel(db, weights=weights)
+    kernel = MetropolisHastings(
+        model.graph, UniformLabelProposer(model.variables), seed=seed + 1
+    )
+    chain = MarkovChain(kernel, steps_per_sample=5)
+    session = repro.connect(db).attach_model(model, chain=chain)
+    return session, model
+
+
+def live_tok_ids(model):
+    return sorted(v.pk[0] for v in model.variables)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=ner_ops)
+def test_ner_random_dml_repair_matches_rebuild(ops):
+    session, model = ner_session()
+    fresh_pk = 100_000
+    for kind, slot, doc, word_index, label_index in ops:
+        pks = live_tok_ids(model)
+        if kind == "insert":
+            fresh_pk += 1
+            session.execute(
+                f"INSERT INTO TOKEN VALUES ({fresh_pk}, {doc}, "
+                f"'{WORDS[word_index]}', 'O', '{LABELS[label_index]}')"
+            )
+        elif kind == "update":
+            pk = pks[slot % len(pks)]
+            if word_index % 2 == 0:
+                # structural: the string (and hence skip groups) change
+                session.execute(
+                    f"UPDATE TOKEN SET STRING='{WORDS[word_index]}' "
+                    f"WHERE TOK_ID={pk}"
+                )
+            else:
+                session.execute(
+                    f"UPDATE TOKEN SET LABEL='{LABELS[label_index]}' "
+                    f"WHERE TOK_ID={pk}"
+                )
+        else:
+            if len(pks) <= 2:
+                continue  # keep the graph non-empty
+            pk = pks[slot % len(pks)]
+            session.execute(f"DELETE FROM TOKEN WHERE TOK_ID={pk}")
+    rebuilt = SkipChainNerModel(session.database, weights=model.weights)
+    assert graph_signature(model.graph) == graph_signature(rebuilt.graph)
+    session.close()
+
+
+# ----------------------------------------------------------------------
+# Coref: dynamic templates, growing cluster domain
+# ----------------------------------------------------------------------
+MENTION_STRINGS = [
+    "John Smith",
+    "J. Smith",
+    "Mary Jones",
+    "M. Jones",
+    "Smith",
+    "Acme Corp",
+]
+
+coref_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update_string", "update_cluster", "delete"]),
+        st.integers(0, 999),           # pk slot
+        st.integers(0, len(MENTION_STRINGS) - 1),
+        st.integers(0, 40),            # cluster id (may force domain growth)
+    ),
+    max_size=20,
+)
+
+
+class _Mention:
+    def __init__(self, mention_id, string, entity_id):
+        self.mention_id = mention_id
+        self.string = string
+        self.entity_id = entity_id
+
+
+def coref_session(num_mentions=8):
+    mentions = [
+        _Mention(i, MENTION_STRINGS[i % len(MENTION_STRINGS)], i % 3)
+        for i in range(num_mentions)
+    ]
+    db = build_mention_database(mentions)
+    model = CorefModel(db, weights=default_coref_weights())
+    kernel = MetropolisHastings(
+        model.graph, MoveMentionProposer(model.variables), seed=13
+    )
+    chain = MarkovChain(kernel, steps_per_sample=5)
+    session = repro.connect(db).attach_model(model, chain=chain)
+    return session, model
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=coref_ops)
+def test_coref_random_dml_repair_matches_rebuild(ops):
+    session, model = coref_session()
+    fresh_pk = 10_000
+    for kind, slot, string_index, cluster in ops:
+        pks = sorted(v.pk[0] for v in model.variables)
+        if kind == "insert":
+            fresh_pk += 1
+            session.execute(
+                f"INSERT INTO MENTION VALUES ({fresh_pk}, "
+                f"'{MENTION_STRINGS[string_index]}', {cluster}, 0)"
+            )
+        elif kind == "update_string":
+            pk = pks[slot % len(pks)]
+            session.execute(
+                f"UPDATE MENTION SET STRING='{MENTION_STRINGS[string_index]}' "
+                f"WHERE MENTION_ID={pk}"
+            )
+        elif kind == "update_cluster":
+            pk = pks[slot % len(pks)]
+            session.execute(
+                f"UPDATE MENTION SET CLUSTER={cluster} WHERE MENTION_ID={pk}"
+            )
+        else:
+            if len(pks) <= 3:
+                continue  # proposers need at least two mentions
+            pk = pks[slot % len(pks)]
+            session.execute(f"DELETE FROM MENTION WHERE MENTION_ID={pk}")
+    rebuilt = CorefModel(
+        session.database, weights=model.weights, domain=model.domain
+    )
+    assert graph_signature(model.graph) == graph_signature(rebuilt.graph)
+    session.close()
