@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI gate for the ISSUE 6 serving acceptance criteria.
+
+Reads the load report produced by::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py BENCH_serving.json
+
+and fails (exit 1) unless the run demonstrates:
+
+* at least ``--min-sessions`` concurrent server sessions of mixed
+  query/DML traffic,
+* **zero** stale reads (freshness-floor + post-hoc audit violations),
+* a non-trivial shared-cache hit rate (``--min-hit-rate``),
+* tail latency recorded (p99 present and positive) and nothing shed —
+  the bench is provisioned so every request should be admitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MIN_SESSIONS = 100
+MIN_HIT_RATE = 0.10
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="bench_serving.py JSON file")
+    parser.add_argument("--min-sessions", type=int, default=MIN_SESSIONS)
+    parser.add_argument("--min-hit-rate", type=float, default=MIN_HIT_RATE)
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+    failures: list[str] = []
+
+    sessions = report.get("sessions", 0)
+    if sessions < args.min_sessions:
+        failures.append(f"only {sessions} sessions (need >= {args.min_sessions})")
+
+    stale = report.get("stale_reads")
+    if stale != 0:
+        failures.append(f"stale_reads = {stale!r} (must be 0)")
+
+    hit_rate = report.get("cache", {}).get("hit_rate", 0.0)
+    if hit_rate < args.min_hit_rate:
+        failures.append(
+            f"cache hit rate {hit_rate:.3f} (need >= {args.min_hit_rate})"
+        )
+
+    p99 = report.get("latency_ms", {}).get("p99")
+    if not isinstance(p99, (int, float)) or p99 <= 0:
+        failures.append(f"p99 latency missing or non-positive: {p99!r}")
+
+    shed_total = sum(report.get("shed", {}).values())
+    if shed_total:
+        failures.append(f"{shed_total} requests shed (expected 0 at bench load)")
+
+    if not report.get("commits"):
+        failures.append("no commits recorded — traffic was not mixed query/DML")
+
+    print(
+        f"{sessions} sessions, {report.get('requests')} requests, "
+        f"p50 {report.get('latency_ms', {}).get('p50')}ms / p99 {p99}ms, "
+        f"{report.get('throughput_rps')} req/s, hit rate {hit_rate:.3f}, "
+        f"stale reads {stale}"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

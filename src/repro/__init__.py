@@ -16,7 +16,11 @@ The package provides:
   recognition with a skip-chain CRF, and entity resolution;
 * :mod:`repro.api` — the public front door: :func:`repro.connect`
   opens a SQL session (DDL, DML, deterministic and probabilistic
-  queries) over one probabilistic database.
+  queries) over one probabilistic database;
+* :mod:`repro.serve` — the multi-tenant async serving layer: many
+  concurrent client sessions multiplexed onto a shared pool of leased
+  chain workers, with snapshot isolation, a shared marginal cache and
+  admission control.
 
 Quickstart::
 
@@ -34,7 +38,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.api import AnytimeCursor, Cursor, Session, connect
 from repro.db import AttrType, Database, Schema

@@ -50,6 +50,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Optional, Tuple
 
 from repro.api.cursor import AnytimeCursor, Cursor
@@ -69,7 +70,7 @@ from repro.db.sql.ast import SelectStmt, Statement
 from repro.db.sql.compiler import compile_select
 from repro.db.sql.executor import execute_dml, execute_statement
 from repro.db.sql.parser import parse_script, parse_statement
-from repro.errors import EvaluationError, QueryError
+from repro.errors import EvaluationError, QueryError, SessionBusyError
 from repro.fg.graph import GraphRepair
 from repro.mcmc.chain import MarkovChain
 
@@ -264,6 +265,13 @@ class Session:
         self._shard_factory: Optional[ShardChainFactory] = None
         self._live: Optional[LiveRunner] = None
         self._closed = False
+        # Single-owner guard: a session is not a concurrent object (its
+        # runner cache, plan cache and live state are all unlocked), so
+        # overlapping execute() calls — a second thread, or re-entry
+        # from a callback mid-statement — fail fast instead of silently
+        # corrupting shared state.  threading.Lock (non-reentrant) is
+        # exactly the semantics: the owner itself trips it on re-entry.
+        self._exec_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -285,6 +293,21 @@ class Session:
     def _check_open(self) -> None:
         if self._closed:
             raise EvaluationError("session is closed")
+
+    def _acquire_guard(self) -> None:
+        """Claim the single-owner execution guard or raise.
+
+        Non-blocking on purpose: an overlapping statement is a bug in
+        the caller, not contention to wait out.  Concurrent clients
+        belong on :mod:`repro.serve`, which serializes engine access
+        and multiplexes tenants onto leased workers.
+        """
+        if not self._exec_guard.acquire(blocking=False):
+            raise SessionBusyError(
+                "Session.execute called while another statement is still "
+                "executing (second thread or re-entrant call); a Session "
+                "is single-owner — use repro.serve for concurrent clients"
+            )
 
     # ------------------------------------------------------------------
     # Model attachment
@@ -539,6 +562,12 @@ class Session:
     ) -> Cursor:
         """Execute one SQL statement and return its cursor.
 
+        A session is **single-owner**: overlapping calls (a second
+        thread, or re-entry from a callback while a statement is still
+        running) raise :class:`~repro.errors.SessionBusyError` instead
+        of corrupting cached state.  Concurrent clients are served by
+        :mod:`repro.serve`.
+
         Without ``samples`` a SELECT is deterministic: it runs once
         against the current possible world.  With ``samples=N`` it is
         probabilistic: ``N`` thinned MCMC samples estimate
@@ -574,46 +603,60 @@ class Session:
         across calls exactly like :meth:`AnytimeCursor.refine`.
         """
         self._check_open()
-        key, kind, payload = self._route(sql)
-        if kind == "ddl":
-            execute_statement(self.database, payload)
-            self._after_ddl(payload)
-            return Cursor(statement_kind="ddl", rowcount=0)
-        if kind == "dml":
-            rowcount, delta = execute_dml(self.database, payload)
-            self._after_dml(delta)
-            return Cursor(statement_kind="dml", rowcount=rowcount)
-
-        plan: PlanNode = payload
-        if samples is None:
-            columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
-            return Cursor(
-                statement_kind="query",
-                rows=evaluate_rows(plan, self.database),
-                columns=columns,
-            )
-        runner = self._prepare_routed(
-            key, sql, plan, evaluator, chains, backend, shards, partitioner
-        )
+        self._acquire_guard()
         try:
-            result = runner.run(samples, burn_in=burn_in)
-        except Exception:
-            # A runner whose backend died (worker crash/timeout closes
-            # it) is unusable; evict it so the next execute() rebuilds
-            # fresh chains instead of hitting "backend is closed".
-            backend_obj = getattr(runner, "backend", None)
-            if backend_obj is not None and backend_obj.closed:
-                for stale in [
-                    k for k, r in self._runners.items() if r is runner
-                ]:
-                    _dispose_runner(self._runners.pop(stale))
-            raise
-        columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
-        return AnytimeCursor(runner=runner, result=result, columns=columns)
+            key, kind, payload = self._route(sql)
+            if kind == "ddl":
+                execute_statement(self.database, payload)
+                self._after_ddl(payload)
+                return Cursor(statement_kind="ddl", rowcount=0)
+            if kind == "dml":
+                rowcount, delta = execute_dml(self.database, payload)
+                self._after_dml(delta)
+                return Cursor(statement_kind="dml", rowcount=rowcount)
+
+            plan: PlanNode = payload
+            if samples is None:
+                columns = [
+                    (a.name, a.attr_type) for a in plan.schema.attributes
+                ]
+                return Cursor(
+                    statement_kind="query",
+                    rows=evaluate_rows(plan, self.database),
+                    columns=columns,
+                )
+            runner = self._prepare_routed(
+                key, sql, plan, evaluator, chains, backend, shards, partitioner
+            )
+            try:
+                result = runner.run(samples, burn_in=burn_in)
+            except Exception:
+                # A runner whose backend died (worker crash/timeout
+                # closes it) is unusable; evict it so the next
+                # execute() rebuilds fresh chains instead of hitting
+                # "backend is closed".
+                backend_obj = getattr(runner, "backend", None)
+                if backend_obj is not None and backend_obj.closed:
+                    for stale in [
+                        k for k, r in self._runners.items() if r is runner
+                    ]:
+                        _dispose_runner(self._runners.pop(stale))
+                raise
+            columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
+            return AnytimeCursor(runner=runner, result=result, columns=columns)
+        finally:
+            self._exec_guard.release()
 
     def execute_script(self, sql: str) -> Cursor:
         """Execute a ``;``-separated script; returns the last cursor."""
         self._check_open()
+        self._acquire_guard()
+        try:
+            return self._execute_script_owned(sql)
+        finally:
+            self._exec_guard.release()
+
+    def _execute_script_owned(self, sql: str) -> Cursor:
         cursor = Cursor(statement_kind="ddl", rowcount=0)
         for stmt in parse_script(sql):
             if isinstance(stmt, SelectStmt):
@@ -650,12 +693,18 @@ class Session:
         want :meth:`execute` with ``samples=``.
         """
         self._check_open()
-        key, kind, plan = self._route(sql)
-        if kind != "query":
-            raise QueryError(f"only SELECT can be evaluated probabilistically ({kind})")
-        return self._prepare_routed(
-            key, sql, plan, evaluator, chains, backend, shards, partitioner
-        )
+        self._acquire_guard()
+        try:
+            key, kind, plan = self._route(sql)
+            if kind != "query":
+                raise QueryError(
+                    f"only SELECT can be evaluated probabilistically ({kind})"
+                )
+            return self._prepare_routed(
+                key, sql, plan, evaluator, chains, backend, shards, partitioner
+            )
+        finally:
+            self._exec_guard.release()
 
     def _prepare_routed(
         self,
@@ -776,6 +825,36 @@ class Session:
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters of the plan cache."""
         return self._plans.info()
+
+    def stats(self) -> dict:
+        """One observability snapshot of this session's cached state.
+
+        Aggregates the plan-cache counters, the runner cache broken
+        down by kind with backend liveness (a ``dead`` runner is one
+        whose worker backend closed underneath it and will be evicted
+        on next use), the live-repair attachment, and the database's
+        committed-statement version.  The serving layer folds this into
+        :meth:`repro.serve.server.ReproServer.stats`.
+        """
+        by_kind: dict[str, int] = {}
+        dead = 0
+        for key in self._runners:
+            kind = key[1] if len(key) > 1 else "chain"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            backend = getattr(self._runners[key], "backend", None)
+            if backend is not None and backend.closed:
+                dead += 1
+        return {
+            "plan_cache": self._plans.info()._asdict(),
+            "runners": {
+                "total": len(self._runners),
+                "by_kind": by_kind,
+                "dead_backends": dead,
+            },
+            "live_capable": self._live is not None,
+            "db_version": self.database.version,
+            "closed": self._closed,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

@@ -26,10 +26,20 @@ Row = Tuple[Any, ...]
 
 
 class Snapshot:
-    """An immutable copy of every table's rows at one instant."""
+    """An immutable copy of every table's rows at one instant.
 
-    def __init__(self, tables: Dict[str, tuple[Schema, tuple[Row, ...]]]):
+    ``version`` is the source database's committed-statement version at
+    the moment the snapshot was taken (see :attr:`Database.version`);
+    restoring the snapshot restores the version with it.
+    """
+
+    def __init__(
+        self,
+        tables: Dict[str, tuple[Schema, tuple[Row, ...]]],
+        version: int = 0,
+    ):
         self._tables = tables
+        self.version = version
 
     def table_names(self) -> Iterator[str]:
         return iter(self._tables)
@@ -48,6 +58,28 @@ class Database:
         self.name = name
         self._tables: Dict[str, Table] = {}
         self._recorders: list[DeltaRecorder] = []
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic count of committed DML/DDL statements.
+
+        Bumped by the SQL executor when a statement actually changes
+        the stored world or schema — **not** by MCMC world transitions,
+        which mutate rows millions of times per query without changing
+        the evidence.  The serving layer keys its shared marginal cache
+        on this value: two probabilistic reads at the same version see
+        the same evidence, so their marginals are interchangeable.
+        """
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance and return the committed-statement version."""
+        self._version += 1
+        return self._version
 
     # ------------------------------------------------------------------
     # Schema management
@@ -146,12 +178,14 @@ class Database:
             {
                 key: (table.schema, tuple(table.rows()))
                 for key, table in self._tables.items()
-            }
+            },
+            version=self._version,
         )
 
     def restore(self, snap: Snapshot) -> None:
         """Reset all tables to ``snap`` (reported to recorders as
-        delete-all + insert-all)."""
+        delete-all + insert-all); the snapshot's version is restored
+        with its rows."""
         snapshot_keys = set(snap.table_names())
         for key in snapshot_keys:
             if key not in self._tables:
@@ -160,6 +194,7 @@ class Database:
             table.clear()
             for row in snap.rows(key) if key in snapshot_keys else ():
                 table.insert(row)
+        self._version = snap.version
 
     @classmethod
     def from_snapshot(cls, snap: Snapshot, name: str = "world") -> "Database":
@@ -168,6 +203,7 @@ class Database:
         for key in snap.table_names():
             table = db.create_table(snap.schema(key))
             table.insert_many(snap.rows(key))
+        db._version = snap.version
         return db
 
     def clone(self, name: str | None = None) -> "Database":

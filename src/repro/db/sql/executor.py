@@ -72,7 +72,13 @@ def execute_dml(db: Database, stmt: Statement) -> Tuple[int, Delta]:
         rowcount = execute_statement(db, stmt)
     finally:
         db.detach_recorder(recorder)
-    return rowcount, recorder.pop()
+    delta = recorder.pop()
+    # A committed world change advances the evidence version (the
+    # serving layer's cache key); a no-op statement leaves it alone so
+    # version-keyed caches stay warm.
+    if not delta.is_empty():
+        db.bump_version()
+    return rowcount, delta
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +93,7 @@ def _create_table(db: Database, stmt: CreateTableStmt) -> int:
         key=stmt.key,
     )
     db.create_table(schema)
+    db.bump_version()
     return 0
 
 
@@ -94,6 +101,7 @@ def _drop_table(db: Database, stmt: DropTableStmt) -> int:
     if stmt.if_exists and not db.has_table(stmt.table):
         return 0
     db.drop_table(stmt.table)
+    db.bump_version()
     return 0
 
 

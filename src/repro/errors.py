@@ -64,6 +64,28 @@ class LiveUpdateError(ReproError):
     probabilistic state has been invalidated."""
 
 
+class SessionBusyError(ReproError):
+    """A :class:`~repro.api.session.Session` was entered concurrently
+    (from another thread, or re-entrantly from a callback) while a
+    statement was still executing.  A session is a single-owner handle;
+    concurrent clients belong on the serving layer
+    (:mod:`repro.serve`), which multiplexes them safely."""
+
+
+class ServeOverloadError(ReproError):
+    """The serving layer shed a request instead of queueing it.
+
+    ``reason`` discriminates the shed path: ``"queue_full"`` (the
+    bounded admission queue was at capacity), ``"timeout"`` (the
+    request waited longer than the admission deadline), or
+    ``"shutdown"`` (the server is draining and accepts no new work).
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        self.reason = reason
+        super().__init__(message)
+
+
 class ShardingError(ReproError):
     """A database could not be partitioned into independent shards
     (missing shard key, unassigned key value, a factor spanning shards,

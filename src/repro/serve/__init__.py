@@ -1,0 +1,58 @@
+"""Multi-tenant async serving layer (ISSUE 6).
+
+The paper frames MCMC inference as a *database-resident service*:
+chains run continuously while queries and updates arrive concurrently.
+This package is that service — an asyncio front-end multiplexing many
+concurrent client sessions onto a shared pool of persistent chain
+workers, with snapshot-isolated reads, a shared marginal cache keyed by
+``(plan fingerprint, committed version)``, and admission control that
+sheds load with a typed error instead of collapsing.
+
+Quickstart::
+
+    import asyncio, repro
+    from repro.ie.ner import NerTask
+    from repro.serve import ReproServer
+
+    task = NerTask(2000, steps_per_sample=200)
+    instance = task.make_instance(chain_seed=1)
+    engine = repro.connect(instance.db).attach_model(
+        instance, chain_factory=task.chain_factory()
+    )
+
+    async def main():
+        async with ReproServer(engine, workers=4) as server:
+            s = server.session(tenant="alice")
+            result = await s.execute(
+                "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", samples=50
+            )
+            print(result.db_version, result.cached, result.rows[:3])
+
+    asyncio.run(main())
+
+Layering: :mod:`~repro.serve.server` owns the event-loop-side
+coordination, :mod:`~repro.serve.pool` the leased chain workers,
+:mod:`~repro.serve.cache` the shared marginal results,
+:mod:`~repro.serve.admission` the backpressure, and
+:mod:`~repro.serve.session` the per-client handles.
+"""
+
+from repro.errors import ServeOverloadError
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import CachedMarginals, MarginalCache, ServeCacheInfo
+from repro.serve.pool import ChainWorker, WorkerPool
+from repro.serve.server import ReproServer
+from repro.serve.session import ServeResult, ServerSession
+
+__all__ = [
+    "AdmissionController",
+    "CachedMarginals",
+    "ChainWorker",
+    "MarginalCache",
+    "ReproServer",
+    "ServeCacheInfo",
+    "ServeOverloadError",
+    "ServeResult",
+    "ServerSession",
+    "WorkerPool",
+]

@@ -1,0 +1,181 @@
+"""Admission control: bounded queueing, per-tenant caps, load shedding.
+
+A server that queues without bound does not degrade, it collapses —
+latency grows past every deadline while memory fills with requests
+whose clients gave up long ago.  The admission controller keeps the
+serving layer honest under overload by refusing work *early*, with a
+typed :class:`~repro.errors.ServeOverloadError` the client can act on:
+
+* **bounded queue** — at most ``max_pending`` requests may wait for
+  a slot; the next one is shed immediately (``reason="queue_full"``);
+* **per-tenant concurrency cap** — one tenant may hold at most
+  ``per_tenant`` slots, so a single chatty client cannot starve the
+  rest (``reason="tenant_cap"``);
+* **timeout shedding** — a request that cannot get a slot within
+  ``queue_timeout`` seconds is shed (``reason="timeout"``) rather than
+  served arbitrarily late.
+
+``max_concurrent`` bounds globally-admitted work; it defaults to
+unbounded because the :class:`~repro.serve.pool.WorkerPool` already
+bounds probabilistic work by construction — set it when deterministic
+reads need throttling too.
+
+Usage (always through the server)::
+
+    async with admission.admit(tenant):
+        ... serve the request ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Dict, Optional
+
+from repro.errors import ServeOverloadError
+
+__all__ = ["AdmissionController"]
+
+
+class _Ticket:
+    """Context manager holding one admitted request's slots."""
+
+    def __init__(self, controller: "AdmissionController", tenant: str):
+        self._controller = controller
+        self._tenant = tenant
+
+    async def __aenter__(self) -> "_Ticket":
+        await self._controller._admit(self._tenant)
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._controller._release(self._tenant)
+
+
+class AdmissionController:
+    """Gatekeeper in front of the serving layer's request path."""
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 128,
+        per_tenant: int = 8,
+        queue_timeout: float = 5.0,
+        max_concurrent: Optional[int] = None,
+    ):
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if per_tenant < 1:
+            raise ValueError("per_tenant must be >= 1")
+        self.max_pending = max_pending
+        self.per_tenant = per_tenant
+        self.queue_timeout = queue_timeout
+        self.max_concurrent = max_concurrent
+        self._active = 0
+        self._tenant_active: Dict[str, int] = {}
+        self._waiters: deque[asyncio.Future] = deque()
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_timeout = 0
+        self.shed_tenant_cap = 0
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str = "default") -> _Ticket:
+        """An ``async with``-able ticket for one request."""
+        return _Ticket(self, tenant)
+
+    def _has_capacity(self) -> bool:
+        return self.max_concurrent is None or self._active < self.max_concurrent
+
+    async def _admit(self, tenant: str) -> None:
+        if self._tenant_active.get(tenant, 0) >= self.per_tenant:
+            self.shed_tenant_cap += 1
+            raise ServeOverloadError(
+                f"tenant {tenant!r} already holds {self.per_tenant} slots",
+                reason="tenant_cap",
+            )
+        # Re-check after every wakeup: a freed slot may have been taken
+        # by a fresh arrival before this waiter resumed, so waking up is
+        # a hint, not a grant.  The deadline spans all waits.
+        deadline: Optional[float] = None
+        while not self._has_capacity():
+            loop = asyncio.get_running_loop()
+            if deadline is None:
+                deadline = loop.time() + self.queue_timeout
+            if len(self._waiters) >= self.max_pending:
+                self.shed_queue_full += 1
+                raise ServeOverloadError(
+                    f"admission queue full ({self.max_pending} waiting)",
+                    reason="queue_full",
+                )
+            await self._wait_for_slot(loop, deadline)
+        self._active += 1
+        self._tenant_active[tenant] = self._tenant_active.get(tenant, 0) + 1
+        self.admitted += 1
+
+    async def _wait_for_slot(self, loop, deadline: float) -> None:
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            self.shed_timeout += 1
+            raise ServeOverloadError(
+                f"no admission slot within {self.queue_timeout:.1f}s",
+                reason="timeout",
+            )
+        future: asyncio.Future = loop.create_future()
+        self._waiters.append(future)
+
+        def _expire() -> None:
+            if not future.done():
+                future.set_exception(
+                    ServeOverloadError(
+                        f"no admission slot within {self.queue_timeout:.1f}s",
+                        reason="timeout",
+                    )
+                )
+
+        handle = loop.call_later(remaining, _expire)
+        try:
+            await future
+        except ServeOverloadError:
+            self.shed_timeout += 1
+            raise
+        finally:
+            handle.cancel()
+            if future in self._waiters:
+                self._waiters.remove(future)
+
+    def _release(self, tenant: str) -> None:
+        self._active -= 1
+        remaining = self._tenant_active.get(tenant, 0) - 1
+        if remaining <= 0:
+            self._tenant_active.pop(tenant, None)
+        else:
+            self._tenant_active[tenant] = remaining
+        # Wake the longest-waiting request now that a slot is free.
+        while self._waiters and self._has_capacity():
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                break
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Requests currently holding an admission slot."""
+        return self._active
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently parked waiting for a slot."""
+        return len(self._waiters)
+
+    def stats(self) -> dict:
+        return {
+            "active": self._active,
+            "queue_depth": self.queue_depth,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_timeout": self.shed_timeout,
+            "shed_tenant_cap": self.shed_tenant_cap,
+            "per_tenant_active": dict(self._tenant_active),
+        }

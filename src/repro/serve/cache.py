@@ -1,0 +1,118 @@
+"""The shared marginal-result cache, keyed by (plan fingerprint, version).
+
+Serving cost — not single-query latency — is what makes a
+probabilistic database usable at scale, and the cheapest sample is one
+somebody else already paid for.  Two probabilistic reads at the same
+committed :attr:`~repro.db.database.Database.version` see identical
+evidence, so their marginals are interchangeable across tenants; the
+cache exploits exactly that and nothing more.
+
+Staleness is impossible by construction: the key *is* the committed
+version, so a read that observed version ``v`` can only ever be served
+marginals computed against ``v``.  A DML commit does not have to chase
+down entries — it just bumps the version, making every older entry
+unreachable for new reads (:meth:`MarginalCache.invalidate_below`
+additionally frees them eagerly).
+
+Entries carry the cumulative sample count that backs them.  A hit
+requires ``samples >= min_samples``: more samples strictly sharpen the
+same anytime estimate, so a deeper entry may serve a shallower request,
+while a shallower entry stays put until a deeper run replaces it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional, Tuple
+
+__all__ = ["CachedMarginals", "MarginalCache", "ServeCacheInfo"]
+
+
+class CachedMarginals(NamedTuple):
+    """One cached probabilistic answer."""
+
+    rows: Tuple[Any, ...]
+    samples: int
+    version: int
+
+
+class ServeCacheInfo(NamedTuple):
+    """Counters exposed by :meth:`MarginalCache.info`."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    evictions: int
+    invalidations: int
+
+
+class MarginalCache:
+    """A bounded LRU of ``(plan fingerprint, db version) →``
+    :class:`CachedMarginals`, shared by every tenant of a server."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("marginal cache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._entries: dict[tuple[str, int], CachedMarginals] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self, fingerprint: str, version: int, min_samples: int = 0
+    ) -> Optional[CachedMarginals]:
+        """The cached answer for this plan at this committed version,
+        provided it is backed by at least ``min_samples`` samples."""
+        key = (fingerprint, version)
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self._misses += 1
+            return None
+        # Re-insert to mark most-recently-used (dicts preserve order).
+        self._entries[key] = entry
+        if entry.samples < min_samples:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return entry
+
+    def put(
+        self, fingerprint: str, version: int, rows: Tuple[Any, ...], samples: int
+    ) -> None:
+        """Store an answer; a shallower result never overwrites a
+        deeper one for the same key."""
+        key = (fingerprint, version)
+        existing = self._entries.get(key)
+        if existing is not None and existing.samples >= samples:
+            return
+        self._entries.pop(key, None)
+        self._entries[key] = CachedMarginals(tuple(rows), samples, version)
+        while len(self._entries) > self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+            self._evictions += 1
+
+    def invalidate_below(self, version: int) -> int:
+        """Eagerly free entries older than ``version`` (they are
+        already unreachable for new reads); returns how many."""
+        stale = [k for k, e in self._entries.items() if e.version < version]
+        for key in stale:
+            del self._entries[key]
+        self._invalidations += len(stale)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> ServeCacheInfo:
+        return ServeCacheInfo(
+            self._hits,
+            self._misses,
+            len(self._entries),
+            self.maxsize,
+            self._evictions,
+            self._invalidations,
+        )

@@ -1,0 +1,158 @@
+"""Per-client server sessions and the serve-layer result type.
+
+A :class:`ServerSession` is the multi-tenant counterpart of
+:class:`repro.api.session.Session`: a thin, cheap handle a client holds
+for the duration of a conversation with the server.  It owns no engine
+state — every statement is routed through the server, which serializes
+committed writes, snapshots reads, and multiplexes probabilistic work
+onto the shared :class:`~repro.serve.pool.WorkerPool`.  Hundreds of
+concurrent sessions are therefore hundreds of *labels*, not hundreds of
+chains.
+
+What a session guarantees its client:
+
+* **snapshot isolation** — every read (deterministic or probabilistic)
+  executes against the committed world at one single version, captured
+  atomically with the plan; concurrent DML never tears a read;
+* **read-your-writes freshness** — the captured version is the latest
+  committed version at the moment the read is admitted, so a result's
+  :attr:`ServeResult.db_version` is never older than any commit the
+  client observed before issuing it;
+* **typed overload** — when the server sheds the request instead of
+  serving it, the session raises
+  :class:`~repro.errors.ServeOverloadError` with a machine-readable
+  ``reason``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = ["ServeResult", "ServerSession"]
+
+Row = Tuple[Any, ...]
+
+
+@dataclass
+class ServeResult:
+    """One served statement's outcome.
+
+    ``db_version`` is the committed database version the statement
+    observed (for DML/DDL: the version its own commit produced) — the
+    staleness audit trail every serving test and bench asserts on.
+    ``cached`` marks probabilistic answers served from the shared
+    marginal cache; ``samples`` is the cumulative sample count backing
+    a probabilistic answer.
+    """
+
+    kind: str
+    db_version: int
+    rows: Tuple[Row, ...] = ()
+    columns: Tuple[str, ...] = ()
+    rowcount: int = 0
+    samples: int = 0
+    cached: bool = False
+    wall_ms: float = 0.0
+    tenant: str = "default"
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class _SessionCounters:
+    """Per-session traffic counters (surfaced via ``stats()``)."""
+
+    queries: int = 0
+    probabilistic: int = 0
+    writes: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    errors: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class ServerSession:
+    """One client's handle onto a :class:`~repro.serve.server.ReproServer`.
+
+    Obtained from :meth:`ReproServer.session`; all methods are
+    coroutine-based and safe to use from many concurrent tasks of the
+    same event loop (the server serializes what must be serialized).
+    """
+
+    def __init__(self, server: Any, tenant: str = "default"):
+        self._server = server
+        self.tenant = tenant
+        self._closed = False
+        self.counters = _SessionCounters()
+
+    # ------------------------------------------------------------------
+    async def execute(
+        self,
+        sql: str,
+        *,
+        samples: Optional[int] = None,
+        burn_in: int = 0,
+    ) -> ServeResult:
+        """Execute one SQL statement through the server.
+
+        Mirrors :meth:`repro.api.session.Session.execute`: no
+        ``samples`` means DDL/DML/deterministic SELECT; ``samples=N``
+        estimates tuple marginals from ``N`` thinned MCMC samples on a
+        leased chain worker (or the shared marginal cache).
+        """
+        if self._closed:
+            raise EvaluationError("server session is closed")
+        from repro.errors import ServeOverloadError
+
+        try:
+            result = await self._server._serve(
+                self.tenant, sql, samples=samples, burn_in=burn_in
+            )
+        except ServeOverloadError:
+            self.counters.shed += 1
+            raise
+        except Exception:
+            self.counters.errors += 1
+            raise
+        if result.kind in ("dml", "ddl"):
+            self.counters.writes += 1
+        elif result.kind == "probabilistic":
+            self.counters.probabilistic += 1
+            if result.cached:
+                self.counters.cache_hits += 1
+        else:
+            self.counters.queries += 1
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def db_version(self) -> int:
+        """The latest committed version this session could observe now."""
+        return self._server.version
+
+    def stats(self) -> dict:
+        """This session's counters plus the shared server stats."""
+        return {
+            "tenant": self.tenant,
+            "session": vars(self.counters) | {},
+            "server": self._server.stats(),
+        }
+
+    def close(self) -> None:
+        """Release the handle (server-side resources are shared and
+        stay up; this just refuses further statements)."""
+        self._closed = True
+        self._server._forget_session(self)
+
+    async def __aenter__(self) -> "ServerSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,129 @@
+"""Session single-owner guard (ISSUE 6 satellite bugfix).
+
+A :class:`~repro.api.session.Session` was silently unsafe under
+concurrent use: two threads interleaving ``execute()`` could corrupt
+the shared plan cache, runner cache and live-repair state.  The guard
+makes the contract explicit — overlapping calls raise
+:class:`~repro.errors.SessionBusyError`; concurrent clients belong on
+:mod:`repro.serve`.  Plus the ``Session.stats()`` observability
+satellite.
+"""
+
+import threading
+
+import pytest
+
+import repro
+from repro.errors import SessionBusyError
+from repro.ie.ner import NerPipeline
+
+
+def make_session():
+    session = repro.connect()
+    session.execute("CREATE TABLE CITY (NAME TEXT PRIMARY KEY, POP INT)")
+    session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+    return session
+
+
+class TestGuard:
+    def test_concurrent_execute_raises(self):
+        """THE regression: a second thread entering execute() while a
+        statement runs must get a typed error, not silent corruption."""
+        session = make_session()
+        entered = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        class SlowRows(list):
+            """Row source whose iteration parks until released, holding
+            the guard exactly as a slow evaluation would."""
+
+        real_route = session._route
+
+        def slow_route(sql):
+            result = real_route(sql)
+            entered.set()
+            if not release.wait(timeout=5):  # pragma: no cover - safety
+                raise RuntimeError("never released")
+            return result
+
+        session._route = slow_route
+
+        def first():
+            try:
+                session.execute("SELECT NAME FROM CITY")
+            except Exception as exc:  # pragma: no cover - safety
+                errors.append(exc)
+
+        thread = threading.Thread(target=first)
+        thread.start()
+        assert entered.wait(timeout=5)
+        # the overlapping call fails fast with the typed error
+        with pytest.raises(SessionBusyError, match="single-owner"):
+            session.execute("SELECT NAME FROM CITY")
+        release.set()
+        thread.join(timeout=5)
+        assert not errors
+        # the guard is released afterwards: normal use resumes
+        assert session.execute("SELECT NAME FROM CITY").fetchall() == [("Boston",)]
+        session.close()
+
+    def test_reentrant_execute_raises(self):
+        """Re-entry from inside a running statement trips the same
+        guard (threading.Lock is deliberately non-reentrant)."""
+        session = make_session()
+        real_route = session._route
+        caught = []
+
+        def reentrant_route(sql):
+            if not caught:
+                caught.append("entered")
+                with pytest.raises(SessionBusyError):
+                    session.execute("SELECT NAME FROM CITY")
+            return real_route(sql)
+
+        session._route = reentrant_route
+        session.execute("SELECT NAME FROM CITY")
+        assert caught
+        session.close()
+
+    def test_guard_released_after_error(self):
+        session = make_session()
+        with pytest.raises(Exception):
+            session.execute("SELECT NOPE FROM MISSING")
+        # a failed statement must not leave the session busy forever
+        assert session.execute("SELECT NAME FROM CITY").rowcount == 1
+        session.close()
+
+    def test_execute_script_and_prepare_guarded(self):
+        session = make_session()
+        session._acquire_guard()
+        try:
+            with pytest.raises(SessionBusyError):
+                session.execute_script("SELECT NAME FROM CITY")
+            with pytest.raises(SessionBusyError):
+                session.prepare("SELECT NAME FROM CITY")
+        finally:
+            session._exec_guard.release()
+        session.close()
+
+
+class TestStats:
+    def test_stats_shape_and_counters(self):
+        pipeline = NerPipeline.build(200, steps_per_sample=10)
+        session = pipeline.session
+        session.execute("SELECT STRING FROM TOKEN WHERE LABEL='B-PER'", samples=2)
+        stats = session.stats()
+        assert stats["plan_cache"]["misses"] >= 1
+        assert stats["runners"]["total"] == 1
+        assert stats["runners"]["by_kind"] == {"materialized": 1}
+        assert stats["runners"]["dead_backends"] == 0
+        assert stats["live_capable"] is True
+        assert stats["db_version"] == 0
+        assert stats["closed"] is False
+        session.execute(
+            "INSERT INTO TOKEN VALUES (999999, 0, 'Zanzibar', 'B-PER', 'B-PER')"
+        )
+        assert session.stats()["db_version"] == 1
+        session.close()
+        assert session.stats()["closed"] is True

@@ -1,0 +1,102 @@
+"""Monotonic ``Database.version``: the serving layer's cache key.
+
+The contract (ISSUE 6): bumped once per *committed* DML/DDL statement,
+untouched by MCMC world mutations and no-op statements, preserved
+across snapshot/restore/clone and pickling.
+"""
+
+import pickle
+
+import repro
+from repro.db.database import Database
+
+
+def make_session():
+    session = repro.connect()
+    session.execute("CREATE TABLE CITY (NAME TEXT PRIMARY KEY, POP INT)")
+    return session
+
+
+class TestCommitBumps:
+    def test_fresh_database_starts_at_zero(self):
+        assert Database("w").version == 0
+
+    def test_ddl_and_dml_bump_once_per_statement(self):
+        session = make_session()
+        db = session.database
+        assert db.version == 1  # CREATE TABLE
+        session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+        assert db.version == 2
+        # multi-row statement: one commit, one bump
+        session.execute("INSERT INTO CITY VALUES ('Lowell', 115), ('Salem', 44)")
+        assert db.version == 3
+        session.execute("UPDATE CITY SET POP = 700 WHERE NAME = 'Boston'")
+        assert db.version == 4
+        session.execute("DELETE FROM CITY WHERE NAME = 'Salem'")
+        assert db.version == 5
+        session.execute("DROP TABLE CITY")
+        assert db.version == 6
+
+    def test_noop_dml_does_not_bump(self):
+        session = make_session()
+        session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+        before = session.database.version
+        session.execute("UPDATE CITY SET POP = 1 WHERE NAME = 'nowhere'")
+        session.execute("DELETE FROM CITY WHERE POP > 10000")
+        assert session.database.version == before
+
+    def test_noop_ddl_does_not_bump(self):
+        session = make_session()
+        before = session.database.version
+        session.execute("CREATE TABLE IF NOT EXISTS CITY (NAME TEXT PRIMARY KEY)")
+        session.execute("DROP TABLE IF EXISTS GHOST")
+        assert session.database.version == before
+
+    def test_failed_statement_does_not_bump(self):
+        import pytest
+
+        from repro.errors import ReproError
+
+        session = make_session()
+        session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+        before = session.database.version
+        with pytest.raises(ReproError):
+            session.execute("INSERT INTO CITY VALUES ('Boston', 1)")  # pk clash
+        assert session.database.version == before
+
+    def test_direct_world_mutation_does_not_bump(self):
+        """MCMC transitions mutate rows through the table API millions
+        of times per query; none of that is a commit."""
+        session = make_session()
+        before = session.database.version
+        session.database.insert("CITY", ("Worcester", 206))
+        session.database.update("CITY", ("Worcester",), {"POP": 207})
+        session.database.delete("CITY", ("Worcester",))
+        assert session.database.version == before
+
+
+class TestPreservation:
+    def test_snapshot_carries_and_restore_rewinds(self):
+        session = make_session()
+        session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+        db = session.database
+        snap = db.snapshot()
+        assert snap.version == 2
+        session.execute("INSERT INTO CITY VALUES ('Lowell', 115)")
+        assert db.version == 3
+        db.restore(snap)
+        assert db.version == 2
+
+    def test_from_snapshot_and_clone_preserve(self):
+        session = make_session()
+        session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+        db = session.database
+        rebuilt = Database.from_snapshot(db.snapshot())
+        assert rebuilt.version == db.version == 2
+        assert db.clone().version == 2
+
+    def test_pickle_round_trip_preserves(self):
+        session = make_session()
+        session.execute("INSERT INTO CITY VALUES ('Boston', 675)")
+        copy = pickle.loads(pickle.dumps(session.database))
+        assert copy.version == 2

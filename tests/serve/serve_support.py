@@ -1,0 +1,26 @@
+"""Shared fixtures for the serving-layer tests.
+
+The engine is a tiny NER workload (fast to build, live-repair capable)
+so every test exercises the real model/chain/repair stack rather than
+mocks.  Tests drive asyncio through plain ``asyncio.run`` — no plugin
+dependency.
+"""
+
+
+import repro
+from repro.ie.ner import NerTask
+
+
+QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+
+
+def make_engine(num_tokens: int = 100, steps_per_sample: int = 10, seed: int = 0):
+    """A small single-owner engine session with live-capable NER model."""
+    task = NerTask(num_tokens, corpus_seed=seed, steps_per_sample=steps_per_sample)
+    instance = task.make_instance(chain_seed=seed + 1)
+    session = repro.connect(instance.db).attach_model(
+        instance, chain_factory=task.chain_factory()
+    )
+    return task, session
+
+

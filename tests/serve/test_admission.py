@@ -1,0 +1,123 @@
+"""AdmissionController: bounded queue, tenant caps, timeout shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeOverloadError
+from repro.serve import AdmissionController
+
+
+async def hold(controller, tenant, release: asyncio.Event, held: asyncio.Event):
+    async with controller.admit(tenant):
+        held.set()
+        await release.wait()
+
+
+class TestTenantCap:
+    def test_tenant_over_cap_is_shed(self):
+        async def main():
+            ctrl = AdmissionController(per_tenant=2)
+            release, h1, h2 = asyncio.Event(), asyncio.Event(), asyncio.Event()
+            t1 = asyncio.create_task(hold(ctrl, "a", release, h1))
+            t2 = asyncio.create_task(hold(ctrl, "a", release, h2))
+            await asyncio.gather(h1.wait(), h2.wait())
+            with pytest.raises(ServeOverloadError) as err:
+                async with ctrl.admit("a"):
+                    pass
+            assert err.value.reason == "tenant_cap"
+            # a different tenant is unaffected
+            async with ctrl.admit("b"):
+                pass
+            release.set()
+            await asyncio.gather(t1, t2)
+            assert ctrl.shed_tenant_cap == 1
+            assert ctrl.active == 0
+
+        asyncio.run(main())
+
+
+class TestGlobalCapacity:
+    def test_waiters_admitted_fifo_when_slot_frees(self):
+        async def main():
+            ctrl = AdmissionController(max_concurrent=1, queue_timeout=5.0)
+            release, held = asyncio.Event(), asyncio.Event()
+            holder = asyncio.create_task(hold(ctrl, "a", release, held))
+            await held.wait()
+            order = []
+
+            async def waiter(tag):
+                async with ctrl.admit(tag):
+                    order.append(tag)
+
+            tasks = []
+            for tag in ("first", "second"):
+                tasks.append(asyncio.create_task(waiter(tag)))
+                await asyncio.sleep(0)
+            assert ctrl.queue_depth == 2
+            release.set()
+            await asyncio.gather(holder, *tasks)
+            assert order == ["first", "second"]
+            assert ctrl.admitted == 3
+
+        asyncio.run(main())
+
+    def test_queue_full_sheds_immediately(self):
+        async def main():
+            ctrl = AdmissionController(
+                max_concurrent=1, max_pending=1, queue_timeout=5.0
+            )
+            release, held = asyncio.Event(), asyncio.Event()
+            holder = asyncio.create_task(hold(ctrl, "a", release, held))
+            await held.wait()
+            parked = asyncio.create_task(hold(ctrl, "b", release, asyncio.Event()))
+            await asyncio.sleep(0.01)
+            with pytest.raises(ServeOverloadError) as err:
+                async with ctrl.admit("c"):
+                    pass
+            assert err.value.reason == "queue_full"
+            assert ctrl.shed_queue_full == 1
+            release.set()
+            await asyncio.gather(holder, parked)
+
+        asyncio.run(main())
+
+    def test_timeout_sheds_parked_request(self):
+        async def main():
+            ctrl = AdmissionController(max_concurrent=1, queue_timeout=0.05)
+            release, held = asyncio.Event(), asyncio.Event()
+            holder = asyncio.create_task(hold(ctrl, "a", release, held))
+            await held.wait()
+            with pytest.raises(ServeOverloadError) as err:
+                async with ctrl.admit("b"):
+                    pass
+            assert err.value.reason == "timeout"
+            assert ctrl.shed_timeout == 1
+            release.set()
+            await holder
+            # the shed waiter left no ghost slot behind
+            async with ctrl.admit("b"):
+                assert ctrl.active == 1
+
+        asyncio.run(main())
+
+    def test_slot_stealing_never_overshoots_cap(self):
+        """A woken waiter re-checks capacity: concurrent arrivals can
+        never push active above max_concurrent."""
+
+        async def main():
+            ctrl = AdmissionController(max_concurrent=2, queue_timeout=5.0)
+            peak = 0
+
+            async def client(i):
+                nonlocal peak
+                async with ctrl.admit(f"t{i % 7}"):
+                    peak = max(peak, ctrl.active)
+                    assert ctrl.active <= 2
+                    await asyncio.sleep(0.001)
+
+            await asyncio.gather(*[client(i) for i in range(40)])
+            assert peak == 2
+            assert ctrl.active == 0 and ctrl.queue_depth == 0
+
+        asyncio.run(main())

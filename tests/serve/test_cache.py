@@ -1,0 +1,58 @@
+"""MarginalCache: version keying, sample-depth semantics, eviction."""
+
+import pytest
+
+from repro.serve import MarginalCache
+
+ROWS = ((("Alice",), 0.9), (("Bob",), 0.4))
+
+
+class TestKeying:
+    def test_hit_requires_same_version(self):
+        cache = MarginalCache()
+        cache.put("q", 3, ROWS, samples=10)
+        assert cache.get("q", 3, min_samples=10).rows == ROWS
+        # a newer committed version can never see the old marginals
+        assert cache.get("q", 4, min_samples=10) is None
+        info = cache.info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_deeper_entry_serves_shallower_request(self):
+        cache = MarginalCache()
+        cache.put("q", 1, ROWS, samples=100)
+        assert cache.get("q", 1, min_samples=10) is not None
+        assert cache.get("q", 1, min_samples=101) is None
+
+    def test_shallower_put_never_overwrites_deeper(self):
+        cache = MarginalCache()
+        cache.put("q", 1, ROWS, samples=100)
+        cache.put("q", 1, (), samples=5)
+        assert cache.get("q", 1).samples == 100
+        cache.put("q", 1, (), samples=200)
+        assert cache.get("q", 1).samples == 200
+
+
+class TestLifecycle:
+    def test_lru_eviction_counts(self):
+        cache = MarginalCache(maxsize=2)
+        cache.put("a", 1, ROWS, 1)
+        cache.put("b", 1, ROWS, 1)
+        cache.get("a", 1)  # refresh a
+        cache.put("c", 1, ROWS, 1)  # evicts b (LRU)
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) is not None
+        assert cache.info().evictions == 1
+
+    def test_invalidate_below_frees_stale_versions(self):
+        cache = MarginalCache()
+        cache.put("a", 1, ROWS, 1)
+        cache.put("b", 2, ROWS, 1)
+        cache.put("c", 3, ROWS, 1)
+        assert cache.invalidate_below(3) == 2
+        assert len(cache) == 1
+        assert cache.info().invalidations == 2
+        assert cache.get("c", 3) is not None
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            MarginalCache(maxsize=0)

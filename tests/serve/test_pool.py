@@ -1,0 +1,181 @@
+"""WorkerPool: leasing fairness, rebasing, eviction, keepalive."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import EvaluationError, ServeOverloadError
+from repro.serve import WorkerPool
+
+from serve_support import QUERY, make_engine
+
+
+def make_pool(size=2, **kwargs):
+    task, session = make_engine()
+    pool = WorkerPool(task.chain_factory(), size, **kwargs)
+    pool.start(session.database.snapshot())
+    return task, session, pool
+
+
+def plan_for(session, sql=QUERY):
+    key, kind, plan = session._route(sql)
+    assert kind == "query"
+    return key, plan
+
+
+class TestLeasing:
+    def test_acquire_release_roundtrip(self):
+        async def main():
+            _, session, pool = make_pool(size=2)
+            a = await pool.acquire()
+            b = await pool.acquire()
+            assert a is not b and a.leased and b.leased
+            pool.release(a)
+            pool.release(b)
+            assert pool.stats()["idle"] == 2
+            pool.close()
+
+        asyncio.run(main())
+
+    def test_fifo_fairness(self):
+        """Waiters are served strictly in arrival order."""
+
+        async def main():
+            _, session, pool = make_pool(size=1)
+            worker = await pool.acquire()
+            order = []
+
+            async def waiter(tag):
+                w = await pool.acquire()
+                order.append(tag)
+                await asyncio.sleep(0)
+                pool.release(w)
+
+            tasks = []
+            for tag in ("first", "second", "third"):
+                tasks.append(asyncio.create_task(waiter(tag)))
+                await asyncio.sleep(0)  # deterministic arrival order
+            assert pool.stats()["queue_depth"] == 3
+            pool.release(worker)
+            await asyncio.gather(*tasks)
+            assert order == ["first", "second", "third"]
+            pool.close()
+
+        asyncio.run(main())
+
+    def test_acquire_timeout_sheds(self):
+        async def main():
+            _, session, pool = make_pool(size=1)
+            worker = await pool.acquire()
+            with pytest.raises(ServeOverloadError) as err:
+                await pool.acquire(timeout=0.05)
+            assert err.value.reason == "timeout"
+            pool.release(worker)
+            pool.close()
+
+        asyncio.run(main())
+
+    def test_requires_rebasable_factory(self):
+        with pytest.raises(EvaluationError, match="rebased"):
+            WorkerPool(lambda i: None, 1)
+
+
+class TestRunsAndVersions:
+    def test_run_continues_chain_and_counts_samples(self):
+        async def main():
+            _, session, pool = make_pool(size=1)
+            fingerprint, plan = plan_for(session)
+            worker = await pool.acquire()
+            first = worker.run(fingerprint, plan, 4)
+            # initial world counts once, later runs accumulate
+            assert first.samples == 5
+            second = worker.run(fingerprint, plan, 4)
+            assert second.samples == 9
+            pool.release(worker)
+            pool.close()
+
+        asyncio.run(main())
+
+    def test_rebase_tracks_version_and_drops_views(self):
+        async def main():
+            _, session, pool = make_pool(size=1)
+            fingerprint, plan = plan_for(session)
+            worker = await pool.acquire()
+            worker.run(fingerprint, plan, 2)
+            assert worker.version == 0
+            session.execute(
+                "INSERT INTO TOKEN VALUES (999999, 0, 'Zanzibar', 'B-PER', 'B-PER')"
+            )
+            snap = session.database.snapshot()
+            assert snap.version == 1
+            worker.rebase(snap)
+            assert worker.version == 1
+            assert worker._queries == {}  # view state dropped with the old world
+            # the rebased world includes the committed row
+            assert len(worker.db.table("TOKEN")) == len(session.database.table("TOKEN"))
+            run = worker.run(fingerprint, plan, 2)
+            assert run.samples == 3  # fresh evaluator: initial world re-counted
+            pool.release(worker)
+            pool.close()
+
+        asyncio.run(main())
+
+    def test_failed_worker_evicted_and_replaced(self):
+        async def main():
+            _, session, pool = make_pool(size=1)
+            fingerprint, plan = plan_for(session)
+            worker = await pool.acquire()
+            with pytest.raises(Exception):
+                worker.run(fingerprint, "not a plan", 2)
+            assert worker.failed
+            pool.release(worker)
+            stats = pool.stats()
+            assert stats["evictions"] == 1
+            assert stats["idle"] == 1  # a fresh replacement took its place
+            replacement = await pool.acquire()
+            assert replacement is not worker and not replacement.failed
+            # the replacement still serves runs
+            assert replacement.run(fingerprint, plan, 2).samples == 3
+            pool.release(replacement)
+            pool.close()
+
+        asyncio.run(main())
+
+
+class TestKeepalive:
+    def test_reap_idle_drops_view_state_keeps_chain(self):
+        async def main():
+            _, session, pool = make_pool(size=1, keepalive_s=0.0)
+            fingerprint, plan = plan_for(session)
+            worker = await pool.acquire()
+            worker.run(fingerprint, plan, 2)
+            pool.release(worker)
+            assert worker._queries
+            assert pool.reap_idle() == 1
+            assert worker._queries == {}
+            assert not worker.closed  # chain stays warm
+            # a leased worker is never reaped
+            worker = await pool.acquire()
+            worker.run(fingerprint, plan, 2)
+            assert pool.reap_idle() == 0
+            pool.release(worker)
+            pool.close()
+
+        asyncio.run(main())
+
+
+class TestClose:
+    def test_close_fails_parked_waiters(self):
+        async def main():
+            _, session, pool = make_pool(size=1)
+            worker = await pool.acquire()
+            waiter = asyncio.create_task(pool.acquire())
+            await asyncio.sleep(0)
+            pool.close()
+            with pytest.raises(ServeOverloadError) as err:
+                await waiter
+            assert err.value.reason == "shutdown"
+            with pytest.raises(EvaluationError, match="closed"):
+                await pool.acquire()
+
+        asyncio.run(main())
