@@ -1,0 +1,29 @@
+"""repro-lint: the static-analysis suite guarding this repo's runtime
+invariants (see :mod:`repro.analysis.framework` for the architecture
+and ``README.md`` § "Static analysis" for the rule table).
+
+Run it with ``python -m repro.analysis src/repro``.
+"""
+
+from repro.analysis.framework import (
+    AnalysisReport,
+    Finding,
+    Rule,
+    SourceFile,
+    Suppression,
+    analyze,
+    analyze_paths,
+)
+from repro.analysis.rules import ALL_RULES, RULE_TITLES
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "analyze",
+    "analyze_paths",
+    "ALL_RULES",
+    "RULE_TITLES",
+]

@@ -1,0 +1,104 @@
+"""``python -m repro.analysis`` — run the repro-lint invariant suite.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.framework import analyze_paths
+from repro.analysis.reporting import (
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.rules import ALL_RULES, RULE_TITLES, rules_by_id
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: AST invariant checkers encoding this repo's "
+            "hard-won runtime contracts (pickle safety, cache "
+            "invalidation, RNG/async/DML discipline)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", metavar="RL00X[,RL00Y]",
+        help="run only these rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of accepted finding fingerprints",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, title in sorted(RULE_TITLES.items()):
+            print(f"{rule_id}  {title}")
+        return 0
+    try:
+        rules = (
+            rules_by_id([r.strip() for r in args.rules.split(",") if r.strip()])
+            if args.rules
+            else list(ALL_RULES)
+        )
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "repro-lint: no such path(s): "
+            + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_baseline(Path(args.baseline)) if args.baseline else None
+    try:
+        report = analyze_paths(paths, rules, baseline=baseline)
+    except SyntaxError as exc:
+        print(f"repro-lint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), report.findings)
+        print(
+            f"repro-lint: wrote {len(report.findings)} fingerprint(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    output = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(output)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Small shared AST helpers for the repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "self_attribute",
+    "walk_calls",
+    "local_function_names",
+    "contains_lambda",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call target (``random.randint``,
+    ``self.invalidate_adjacency``), else ``None``."""
+    return dotted_name(node.func)
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``self.attr``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def walk_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def local_function_names(func: ast.AST) -> Set[str]:
+    """Names of functions defined *inside* ``func``'s body (closures —
+    the unpicklable kind)."""
+    out: Set[str] = set()
+    body = getattr(func, "body", [])
+    for stmt in body:
+        for child in ast.walk(stmt):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.add(child.name)
+    return out
+
+
+def contains_lambda(node: ast.AST) -> Optional[ast.Lambda]:
+    """The first Lambda anywhere under ``node``, else ``None``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Lambda):
+            return child
+    return None

@@ -1,0 +1,372 @@
+"""The repro-lint checker framework.
+
+This package encodes the repo's hard-won runtime invariants — the bug
+classes fixed in PRs 2/3/5/6 — as named static rules over the ``ast``
+module, so violations are caught at lint time instead of as biased
+marginals or stale serving reads at run time.
+
+Pieces:
+
+* :class:`Finding` — one violation: rule id, file, line, message and
+  the enclosing ``Class.method`` symbol.  Its :meth:`fingerprint` is
+  deliberately line-number-free so baselines survive unrelated edits.
+* :class:`Rule` — an :class:`ast.NodeVisitor` subclass with a rule id,
+  a one-line title, and a path ``scope`` restricting which modules it
+  runs over (``repro/fg/`` invariants do not apply to ``repro/db/``).
+  The base class tracks the class/function nesting stack so rules can
+  report precise symbols.
+* :class:`SourceFile` — parsed source plus its per-line
+  ``# repro-lint: disable=RULE -- justification`` suppressions
+  (comments are read with :mod:`tokenize`, so a ``#`` inside a string
+  never parses as one).
+* :func:`analyze` / :func:`analyze_paths` — the engine: run every
+  in-scope rule, apply suppressions and the optional baseline, and
+  emit hygiene findings (rule ``RL006``) for suppressions that are
+  unused or carry no justification.
+
+Adding a rule: subclass :class:`Rule` in ``repro/analysis/rules/``,
+set ``rule_id``/``title``/``scope``, override the ``visit_*`` methods
+you need (call ``self.generic_visit(node)`` to keep descending), and
+register the class in ``repro.analysis.rules.ALL_RULES``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "AnalysisReport",
+    "analyze",
+    "analyze_paths",
+    "relative_module_path",
+]
+
+HYGIENE_RULE = "RL006"
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>[A-Z0-9*,\s]+?)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    symbol: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: everything but the line
+        number, which drifts under unrelated edits."""
+        return f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    used: bool = False
+
+    def matches(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+class SourceFile:
+    """One parsed module plus its suppression comments."""
+
+    def __init__(self, path: Path, text: str, rel_path: Optional[str] = None):
+        self.path = path
+        self.rel_path = rel_path if rel_path is not None else relative_module_path(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self.suppressions: Dict[int, Suppression] = _parse_suppressions(text)
+
+    @classmethod
+    def read(cls, path: Path) -> "SourceFile":
+        return cls(path, path.read_text(encoding="utf-8"))
+
+    def suppression_for(self, line: int, rule: str) -> Optional[Suppression]:
+        suppression = self.suppressions.get(line)
+        if suppression is not None and suppression.matches(rule):
+            return suppression
+        return None
+
+
+def relative_module_path(path: Path) -> str:
+    """``repro/fg/graph.py`` for any absolute or relative spelling —
+    the path rules scope against.  Paths outside a ``repro`` package
+    are returned as given (posix)."""
+    parts = path.as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.as_posix()
+
+
+_SKIP_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+def _parse_suppressions(text: str) -> Dict[int, Suppression]:
+    """Suppressions keyed by the source line they silence.
+
+    An inline comment silences its own line; a standalone comment line
+    (nothing but the comment) silences the next code line, so long
+    justifications can live above the statement they excuse.
+    """
+    out: Dict[int, Suppression] = {}
+    pending: List[Suppression] = []
+
+    def _attach(line: int, suppression: Suppression) -> None:
+        existing = out.get(line)
+        if existing is not None:
+            existing.rules = tuple(dict.fromkeys(existing.rules + suppression.rules))
+            if not existing.justification:
+                existing.justification = suppression.justification
+        else:
+            out[line] = suppression
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(token.string)
+                if match is None:
+                    continue
+                rules = tuple(
+                    r.strip()
+                    for r in match.group("rules").split(",")
+                    if r.strip()
+                )
+                suppression = Suppression(
+                    line=token.start[0],
+                    rules=rules,
+                    justification=(match.group("why") or "").strip(),
+                )
+                if token.line[: token.start[1]].strip():
+                    _attach(token.start[0], suppression)
+                else:
+                    pending.append(suppression)
+            elif token.type not in _SKIP_TOKENS and pending:
+                for suppression in pending:
+                    _attach(token.start[0], suppression)
+                pending = []
+    except tokenize.TokenError:  # pragma: no cover - unparsable edge
+        pass
+    for suppression in pending:  # trailing comment with no code after it
+        _attach(suppression.line, suppression)
+    return out
+
+
+class Rule(ast.NodeVisitor):
+    """Base checker: one rule over one source file.
+
+    Subclasses set :attr:`rule_id`, :attr:`title` and :attr:`scope`
+    (path prefixes relative to the ``repro`` package root; empty means
+    every module).  The visitor maintains ``class_stack`` /
+    ``func_stack`` so :meth:`report` can attribute findings to a
+    ``Class.method`` symbol.
+    """
+
+    rule_id: str = "RL000"
+    title: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.findings: List[Finding] = []
+        self.class_stack: List[ast.ClassDef] = []
+        self.func_stack: List[ast.AST] = []
+
+    # -- scope ----------------------------------------------------------
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        if not cls.scope:
+            return True
+        return any(rel_path.startswith(prefix) for prefix in cls.scope)
+
+    # -- reporting ------------------------------------------------------
+    def symbol(self) -> str:
+        parts = [c.name for c in self.class_stack]
+        parts += [getattr(f, "name", "<lambda>") for f in self.func_stack]
+        return ".".join(parts)
+
+    def report(self, node: ast.AST, message: str, symbol: Optional[str] = None) -> None:
+        finding = Finding(
+            rule=self.rule_id,
+            path=self.source.rel_path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            symbol=self.symbol() if symbol is None else symbol,
+        )
+        if finding not in self.findings:  # e.g. loop bodies walked twice
+            self.findings.append(finding)
+
+    # -- stack maintenance ---------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        try:
+            self.check_class(node)
+            self.generic_visit(node)
+        finally:
+            self.class_stack.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.func_stack.append(node)
+        try:
+            self.check_function(node)
+            self.generic_visit(node)
+        finally:
+            self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- hooks ----------------------------------------------------------
+    def check_class(self, node: ast.ClassDef) -> None:
+        """Called on entering every class (stack already pushed)."""
+
+    def check_function(self, node: ast.AST) -> None:
+        """Called on entering every (async) function."""
+
+    def run(self) -> List[Finding]:
+        self.visit(self.source.tree)
+        return self.findings
+
+
+@dataclass
+class AnalysisReport:
+    """The engine's output: surviving findings plus bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            out.append(path)
+    return out
+
+
+def analyze(
+    sources: Iterable[SourceFile],
+    rule_classes: Sequence[Type[Rule]],
+    baseline: Optional[Iterable[str]] = None,
+) -> AnalysisReport:
+    """Run ``rule_classes`` over ``sources`` and post-process findings
+    through suppressions, the baseline, and suppression hygiene."""
+    report = AnalysisReport(
+        rules_run=tuple(rule.rule_id for rule in rule_classes)
+    )
+    baseline_set = set(baseline or ())
+    survivors: List[Finding] = []
+    for source in sources:
+        report.files += 1
+        raw: List[Finding] = []
+        for rule_class in rule_classes:
+            if rule_class.applies_to(source.rel_path):
+                raw.extend(rule_class(source).run())
+        for finding in raw:
+            suppression = source.suppression_for(finding.line, finding.rule)
+            if suppression is not None:
+                suppression.used = True
+                report.suppressed += 1
+                continue
+            if finding.fingerprint() in baseline_set:
+                report.baselined += 1
+                continue
+            survivors.append(finding)
+        # Suppression hygiene (RL006): every disable comment must
+        # silence something real and say why.
+        for suppression in source.suppressions.values():
+            if not suppression.used:
+                survivors.append(
+                    Finding(
+                        rule=HYGIENE_RULE,
+                        path=source.rel_path,
+                        line=suppression.line,
+                        message=(
+                            "useless suppression: no "
+                            + "/".join(suppression.rules)
+                            + " finding on this line"
+                        ),
+                    )
+                )
+            elif not suppression.justification:
+                survivors.append(
+                    Finding(
+                        rule=HYGIENE_RULE,
+                        path=source.rel_path,
+                        line=suppression.line,
+                        message=(
+                            "suppression without justification: append "
+                            "'-- <why this is safe>'"
+                        ),
+                    )
+                )
+    survivors.sort(key=Finding.sort_key)
+    report.findings = survivors
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rule_classes: Sequence[Type[Rule]],
+    baseline: Optional[Iterable[str]] = None,
+) -> AnalysisReport:
+    """:func:`analyze` over every ``.py`` file under ``paths``."""
+    sources = [SourceFile.read(p) for p in _iter_python_files(paths)]
+    return analyze(sources, rule_classes, baseline=baseline)

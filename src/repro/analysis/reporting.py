@@ -1,0 +1,103 @@
+"""Reporters and the baseline file for repro-lint.
+
+Text output is one ``path:line: RULE message [symbol]`` per finding —
+the format editors and CI log scrapers already understand.  JSON output
+is a stable machine-readable document (``version`` guards the schema)
+that the CI ``lint`` job archives.
+
+A *baseline* is a JSON list of finding fingerprints (line-number-free,
+see :meth:`repro.analysis.framework.Finding.fingerprint`) that are
+accepted as pre-existing debt: baselined findings are reported in the
+summary but do not fail the run.  The committed tree's baseline is
+empty — every finding was either fixed or suppressed inline with a
+justification — but the mechanism is what lets a *new* rule land
+before its last fix does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.analysis.framework import AnalysisReport, Finding
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "load_baseline",
+    "write_baseline",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        where = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} "
+            f"{finding.message}{where}"
+        )
+    counts = report.counts_by_rule()
+    summary = (
+        f"repro-lint: {len(report.findings)} finding(s) in "
+        f"{report.files} file(s)"
+    )
+    if counts:
+        summary += (
+            " ("
+            + ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+            + ")"
+        )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "symbol": f.symbol,
+                "fingerprint": f.fingerprint(),
+            }
+            for f in report.findings
+        ],
+        "summary": {
+            "files": report.files,
+            "findings": len(report.findings),
+            "by_rule": report.counts_by_rule(),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "rules_run": list(report.rules_run),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Fingerprints from a baseline file; missing file = empty."""
+    if not path.exists():
+        return []
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(raw, dict):
+        raw = raw.get("fingerprints", [])
+    return [str(fp) for fp in raw]
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    fingerprints = sorted({f.fingerprint() for f in findings})
+    path.write_text(
+        json.dumps({"fingerprints": fingerprints}, indent=2) + "\n",
+        encoding="utf-8",
+    )

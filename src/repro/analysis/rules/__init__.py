@@ -1,0 +1,42 @@
+"""The repro-lint rule registry.
+
+Each module encodes one invariant family; ``ALL_RULES`` is the order
+they run in.  ``RL006`` (suppression hygiene) is implemented by the
+engine itself, not a visitor — see
+:func:`repro.analysis.framework.analyze`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.framework import HYGIENE_RULE, Rule
+from repro.analysis.rules.pickle_safety import PickleSafetyRule
+from repro.analysis.rules.cache_invalidation import CacheInvalidationRule
+from repro.analysis.rules.rng_discipline import RngDisciplineRule
+from repro.analysis.rules.async_discipline import AsyncDisciplineRule
+from repro.analysis.rules.dml_routing import DmlRoutingRule
+
+__all__ = ["ALL_RULES", "RULE_TITLES", "rules_by_id"]
+
+ALL_RULES: List[Type[Rule]] = [
+    PickleSafetyRule,
+    CacheInvalidationRule,
+    RngDisciplineRule,
+    AsyncDisciplineRule,
+    DmlRoutingRule,
+]
+
+RULE_TITLES: Dict[str, str] = {
+    **{rule.rule_id: rule.title for rule in ALL_RULES},
+    HYGIENE_RULE: "suppression hygiene: every disable comment must "
+    "silence a real finding and carry a justification",
+}
+
+
+def rules_by_id(ids: List[str]) -> List[Type[Rule]]:
+    known = {rule.rule_id: rule for rule in ALL_RULES}
+    missing = [i for i in ids if i not in known]
+    if missing:
+        raise KeyError(f"unknown rule id(s): {', '.join(missing)}")
+    return [known[i] for i in ids]

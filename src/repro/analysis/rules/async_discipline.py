@@ -1,0 +1,217 @@
+"""RL004 — async/lock discipline in the serving layer.
+
+The ``repro/serve/`` asyncio layer multiplexes every tenant onto one
+event loop, so a single blocking call inside an ``async def`` stalls
+*all* tenants for its duration — the latency bench's p99 is exactly as
+good as the worst synchronous call that sneaks onto the loop.  And its
+zero-stale-reads guarantee rests on ``(version, snapshot)`` state being
+read and written atomically under the engine lock; touching that state
+off-lock reintroduces the torn-read window the lock exists to close.
+
+Flagged, inside ``repro/serve/``:
+
+* **blocking calls directly inside an ``async def``** — ``time.sleep``,
+  pipe ``recv``/``recv_bytes``, ``Database.from_snapshot``, database
+  ``snapshot()``, ``evaluate_rows``, engine ``execute``, worker
+  ``run``/``rebase``, ``pool.start`` — run them in a worker thread
+  (``await asyncio.to_thread(fn, ...)``) instead.  Passing the callable
+  *to* ``asyncio.to_thread`` is fine: only direct call sites trip the
+  rule.  Bodies of functions nested inside the coroutine are skipped
+  (they execute when called, which is what the rule checks at that
+  site).
+* **lock-guarded attribute access outside the lock** — any ``self``
+  attribute that is assigned somewhere inside an ``async with
+  <...lock...>:`` block of a class is treated as guarded; reading or
+  writing it in an ``async def`` of the same class outside such a
+  block is a finding.  (Synchronous helpers are exempt — they cannot
+  await, so they can only run while their caller holds the lock; the
+  docstring contract carries that obligation.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.astutil import call_name, dotted_name, self_attribute
+from repro.analysis.framework import Rule
+
+__all__ = ["AsyncDisciplineRule"]
+
+BLOCKING_DOTTED = {"time.sleep"}
+BLOCKING_ATTRS = {"recv", "recv_bytes", "from_snapshot", "snapshot", "rebase"}
+BLOCKING_BARE = {"evaluate_rows", "sleep"}
+# (attr called, receiver tail) pairs too ambiguous to flag on name alone.
+BLOCKING_RECEIVER = {
+    ("execute", "engine"),
+    ("_route", "engine"),
+    ("run", "worker"),
+    ("start", "pool"),
+}
+
+
+def _lock_like(node: ast.expr) -> bool:
+    name = dotted_name(node)
+    if name is None and isinstance(node, ast.Call):
+        name = call_name(node)
+    return name is not None and "lock" in name.lower()
+
+
+class AsyncDisciplineRule(Rule):
+    rule_id = "RL004"
+    title = (
+        "no blocking calls inside async def; lock-guarded attributes "
+        "must not be touched outside the lock"
+    )
+    scope = ("repro/serve/",)
+
+    # ------------------------------------------------------------------
+    def check_class(self, node: ast.ClassDef) -> None:
+        guarded = self._guarded_attrs(node)
+        for item in node.body:
+            if isinstance(item, ast.AsyncFunctionDef):
+                self._check_async_function(item, guarded)
+
+    @staticmethod
+    def _guarded_attrs(cls: ast.ClassDef) -> Set[str]:
+        """Attributes assigned under an ``async with <lock>`` anywhere
+        in the class body."""
+        guarded: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.AsyncWith):
+                continue
+            if not any(_lock_like(item.context_expr) for item in node.items):
+                continue
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        attr = self_attribute(target)
+                        if attr is not None:
+                            guarded.add(attr)
+        return guarded
+
+    def check_function(self, node: ast.AST) -> None:
+        # Module-level coroutines (no enclosing class) still get the
+        # blocking-call check; methods are handled from check_class so
+        # the class-wide guarded-attribute set is known.
+        if isinstance(node, ast.AsyncFunctionDef) and not self.class_stack:
+            self._check_async_function(node, set())
+
+    # ------------------------------------------------------------------
+    def _check_async_function(
+        self, func: ast.AsyncFunctionDef, guarded: Set[str]
+    ) -> None:
+        self._walk_async(func.body, guarded, under_lock=False, func=func)
+
+    def _walk_async(
+        self,
+        stmts: List[ast.stmt],
+        guarded: Set[str],
+        under_lock: bool,
+        func: ast.AsyncFunctionDef,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs execute at their call sites
+            if isinstance(stmt, ast.AsyncWith) and any(
+                _lock_like(item.context_expr) for item in stmt.items
+            ):
+                for item in stmt.items:
+                    self._check_exprs([item.context_expr], guarded, True, func)
+                self._walk_async(stmt.body, guarded, True, func)
+                continue
+            for child, child_stmts in _compound_parts(stmt):
+                self._check_exprs(child, guarded, under_lock, func)
+                for block in child_stmts:
+                    self._walk_async(block, guarded, under_lock, func)
+
+    def _check_exprs(
+        self,
+        exprs: List[ast.expr],
+        guarded: Set[str],
+        under_lock: bool,
+        func: ast.AsyncFunctionDef,
+    ) -> None:
+        symbol = ".".join(
+            [c.name for c in self.class_stack] + [func.name]
+        )
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    blocking = self._blocking_reason(node)
+                    if blocking is not None:
+                        self.report(
+                            node,
+                            f"blocking call {blocking} inside async def "
+                            f"{func.name!r} stalls every tenant on the "
+                            "event loop; wrap it in "
+                            "await asyncio.to_thread(...)",
+                            symbol=symbol,
+                        )
+                if not under_lock and isinstance(node, ast.Attribute):
+                    attr = self_attribute(node)
+                    if attr is not None and attr in guarded:
+                        self.report(
+                            node,
+                            f"self.{attr} is assigned under the engine "
+                            "lock elsewhere but touched here without it; "
+                            "reads/writes outside the lock tear the "
+                            "(version, snapshot) atomicity",
+                            symbol=symbol,
+                        )
+
+    @staticmethod
+    def _blocking_reason(node: ast.Call) -> Optional[str]:
+        name = call_name(node)
+        if name is None:
+            return None
+        if name in BLOCKING_DOTTED:
+            return f"{name}()"
+        parts = name.split(".")
+        if len(parts) == 1:
+            return f"{name}()" if name in BLOCKING_BARE else None
+        tail = parts[-1]
+        receiver = parts[-2]
+        if tail in BLOCKING_ATTRS:
+            return f"{name}()"
+        if (tail, receiver) in BLOCKING_RECEIVER:
+            return f"{name}()"
+        return None
+
+
+def _compound_parts(
+    stmt: ast.stmt,
+) -> List[Tuple[List[ast.expr], List[List[ast.stmt]]]]:
+    """(expressions evaluated by the statement head, nested statement
+    blocks) — so the walk stays statement-accurate about lock scope."""
+    if isinstance(stmt, ast.If):
+        return [([stmt.test], [stmt.body, stmt.orelse])]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [([stmt.iter, stmt.target], [stmt.body, stmt.orelse])]
+    if isinstance(stmt, ast.While):
+        return [([stmt.test], [stmt.body, stmt.orelse])]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [
+            (
+                [item.context_expr for item in stmt.items],
+                [stmt.body],
+            )
+        ]
+    if isinstance(stmt, ast.Try):
+        return [
+            (
+                [],
+                [stmt.body, stmt.orelse, stmt.finalbody]
+                + [handler.body for handler in stmt.handlers],
+            )
+        ]
+    # Simple statement: every expression it contains.
+    exprs: List[ast.expr] = [
+        node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)
+    ]
+    return [(exprs, [])]

@@ -1,0 +1,86 @@
+"""RL005 — DML must route through ``Session._after_dml``.
+
+The PR-5 bug class, verbatim: ``Session.execute`` used to run DML and
+return without touching the runner cache, so every cached
+parallel/sharded runner kept serving marginals computed against the
+pre-update world — forever.  The fix made ``Session._after_dml`` the
+single choke point enforcing "no cached runner serves pre-update
+marginals" (live repair, re-pool, or invalidate).
+
+This rule keeps it the single choke point: any function outside the
+``repro/db/`` layer that calls ``execute_dml(...)`` (the delta-
+producing DML executor) must also call ``_after_dml(...)`` in the same
+body — committing a delta and dropping it on the floor is exactly the
+historical bug.  Direct ``Table``-mutation calls on a session's
+database (``self.database.table(...).insert/delete(...)``) outside
+``repro/db/`` and ``repro/fg/`` are flagged for the same reason: they
+bypass both the delta recorders' contract and the version bump.
+(``repro/fg/`` is exempt — ``FieldVariable.flush`` writing accepted
+proposals back through ``Database.update`` *is* the sampling contract,
+observed by recorders.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import call_name, walk_calls
+from repro.analysis.framework import Rule
+
+__all__ = ["DmlRoutingRule"]
+
+TABLE_MUTATORS = {"insert", "delete"}
+
+
+class DmlRoutingRule(Rule):
+    rule_id = "RL005"
+    title = (
+        "every execute_dml call must be paired with _after_dml so no "
+        "cached runner serves pre-update marginals"
+    )
+    scope = ("repro/",)
+
+    EXEMPT_PREFIXES = ("repro/db/", "repro/fg/", "repro/analysis/")
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        if any(rel_path.startswith(prefix) for prefix in cls.EXEMPT_PREFIXES):
+            return False
+        return super().applies_to(rel_path)
+
+    def check_function(self, node: ast.AST) -> None:
+        body = getattr(node, "body", [])
+        dml_calls = []
+        has_after_dml = False
+        for stmt in body:
+            for call in walk_calls(stmt):
+                name = call_name(call) or ""
+                tail = name.split(".")[-1]
+                if tail == "execute_dml":
+                    dml_calls.append(call)
+                elif tail == "_after_dml":
+                    has_after_dml = True
+        if dml_calls and not has_after_dml:
+            for call in dml_calls:
+                self.report(
+                    call,
+                    "execute_dml commits a delta but this function never "
+                    "calls _after_dml; cached runners will keep serving "
+                    "pre-update marginals (the PR-5 staleness bug)",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in TABLE_MUTATORS
+            and isinstance(func.value, ast.Call)
+            and (call_name(func.value) or "").split(".")[-1] == "table"
+        ):
+            self.report(
+                node,
+                f"direct table().{func.attr}() bypasses the DML executor: "
+                "no delta, no version bump, no _after_dml routing — go "
+                "through Session.execute or execute_dml",
+            )
+        self.generic_visit(node)

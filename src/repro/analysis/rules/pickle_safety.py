@@ -1,0 +1,167 @@
+"""RL001 — pickle safety for chain factories and template state.
+
+The PR-2 bug class: the multiprocess backend pickles ``(Database,
+MarkovChain)`` snapshots into worker processes, so everything a chain
+factory or factor template captures must survive ``pickle``.  Lambdas,
+functions defined inside another function (closures), and
+``functools.partial`` over either do not — they fail at ``run()`` time,
+one worker deep, with an opaque ``PicklingError``.  Neither does a
+captured module-level mutable registry: it pickles *by value*, so the
+worker silently stops observing updates the parent makes.
+
+Flagged, inside ``repro/ie/`` and ``repro/core/``:
+
+* a lambda or local function passed to a factor/template constructor
+  (``UnaryTemplate``, ``PairwiseTemplate``, ``LogLinearFactor``,
+  ``ConstraintFactor``) — feature functions must be module-level
+  functions or bound methods;
+* ``self.attr = <lambda | local function | functools.partial over
+  either>`` inside a pickle-contract class (name ending in ``Factory``
+  or ``Template``, or defining ``__getstate__``/``__reduce__``);
+* ``self.attr = <module-level name bound to a dict/list/set literal>``
+  inside a pickle-contract class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.astutil import (
+    call_name,
+    contains_lambda,
+    local_function_names,
+    self_attribute,
+)
+from repro.analysis.framework import Rule, SourceFile
+
+__all__ = ["PickleSafetyRule"]
+
+TEMPLATE_CTORS = {
+    "UnaryTemplate",
+    "PairwiseTemplate",
+    "LogLinearFactor",
+    "ConstraintFactor",
+}
+
+PICKLE_CONTRACT_METHODS = {"__getstate__", "__reduce__", "__reduce_ex__"}
+
+
+def _is_pickle_contract_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Factory") or node.name.endswith("Template"):
+        return True
+    return any(
+        isinstance(stmt, ast.FunctionDef) and stmt.name in PICKLE_CONTRACT_METHODS
+        for stmt in node.body
+    )
+
+
+class PickleSafetyRule(Rule):
+    rule_id = "RL001"
+    title = (
+        "chain factories and templates must not capture lambdas, local "
+        "functions, or module-level mutable state (multiprocess pickling)"
+    )
+    scope = ("repro/ie/", "repro/core/")
+
+    def __init__(self, source: SourceFile):
+        super().__init__(source)
+        self._contract_stack: List[bool] = []
+        self._local_defs: List[Set[str]] = []
+        self._module_mutables = self._collect_module_mutables(source.tree)
+
+    @staticmethod
+    def _collect_module_mutables(tree: ast.Module) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                             ast.ListComp, ast.SetComp)
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+        return out
+
+    # -- stack hooks ----------------------------------------------------
+    def check_class(self, node: ast.ClassDef) -> None:
+        self._contract_stack.append(_is_pickle_contract_class(node))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        super().visit_ClassDef(node)
+        self._contract_stack.pop()
+
+    def check_function(self, node: ast.AST) -> None:
+        self._local_defs.append(local_function_names(node))
+
+    def _visit_function(self, node: ast.AST) -> None:
+        super()._visit_function(node)
+        self._local_defs.pop()
+
+    # -- helpers --------------------------------------------------------
+    def _in_contract_class(self) -> bool:
+        return bool(self._contract_stack) and self._contract_stack[-1]
+
+    def _is_local_def(self, name: str) -> bool:
+        return any(name in defs for defs in self._local_defs)
+
+    def _unpicklable_reason(self, value: ast.AST) -> Optional[str]:
+        """Why ``value`` cannot be pickled, or ``None``."""
+        if contains_lambda(value) is not None:
+            return "a lambda"
+        if isinstance(value, ast.Name) and self._is_local_def(value.id):
+            return f"local function {value.id!r} (a closure)"
+        if isinstance(value, ast.Call):
+            name = call_name(value)
+            if name is not None and name.split(".")[-1] == "partial":
+                for arg in list(value.args) + [k.value for k in value.keywords]:
+                    if isinstance(arg, ast.Name) and self._is_local_def(arg.id):
+                        return (
+                            f"functools.partial over local function {arg.id!r}"
+                        )
+                # lambdas inside the partial were caught above
+        return None
+
+    # -- checks ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name is not None and name.split(".")[-1] in TEMPLATE_CTORS:
+            ctor = name.split(".")[-1]
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                reason = self._unpicklable_reason(arg)
+                if reason is not None:
+                    self.report(
+                        arg,
+                        f"{ctor} argument is {reason}; feature/neighbour "
+                        "functions must be module-level functions or bound "
+                        "methods so chain snapshots pickle",
+                    )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._in_contract_class() and self.func_stack:
+            for target in node.targets:
+                attr = self_attribute(target)
+                if attr is None:
+                    continue
+                reason = self._unpicklable_reason(node.value)
+                if reason is not None:
+                    self.report(
+                        node,
+                        f"pickle-contract class stores {reason} on "
+                        f"self.{attr}; use a module-level function or "
+                        "bound method",
+                    )
+                elif (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in self._module_mutables
+                ):
+                    self.report(
+                        node,
+                        f"pickle-contract class captures module-level "
+                        f"mutable {node.value.id!r} on self.{attr}; it "
+                        "pickles by value, so workers stop observing "
+                        "parent updates — copy it explicitly or pass "
+                        "immutable data",
+                    )
+        self.generic_visit(node)

@@ -39,7 +39,7 @@ import os
 import pickle
 import time
 import traceback
-from typing import Callable, List, Optional, Sequence, Tuple, Type
+from typing import Callable, List, Sequence, Tuple, Type
 
 from repro.db.database import Database
 from repro.errors import EvaluationError

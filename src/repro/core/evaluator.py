@@ -17,7 +17,7 @@ same set of samples").
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 from repro.db.database import Database
 from repro.db.multiset import Multiset

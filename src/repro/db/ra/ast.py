@@ -16,7 +16,7 @@ plain output names.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Tuple
 
 from repro.db.schema import Attribute, Schema

@@ -43,7 +43,7 @@ from repro.db.ra.ast import (
     Select,
     UnionAll,
 )
-from repro.db.ra.eval import compute_aggregates, zero_for
+from repro.db.ra.eval import zero_for
 from repro.db.types import AttrType
 from repro.errors import PlanError
 

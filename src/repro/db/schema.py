@@ -7,7 +7,7 @@ attribute order; the schema owns the name→position mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.db.types import AttrType, coerce_value

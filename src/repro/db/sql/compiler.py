@@ -17,7 +17,7 @@ queries need:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.db.database import Database
 from repro.db.ra.ast import (
@@ -170,7 +170,6 @@ class _Compiler:
         if residual is not None:
             plan = Select(plan, residual)
 
-        pre_projection = plan
         plan = self._apply_select_list(stmt, plan)
         if stmt.distinct:
             plan = Distinct(plan)

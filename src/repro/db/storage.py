@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
 
 from repro.db.database import Database
 from repro.db.schema import Attribute, Schema

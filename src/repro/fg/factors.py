@@ -23,7 +23,6 @@ values of variables outside the factor.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Dict, Hashable, Tuple
 
 from repro.fg.features import FeatureVector

@@ -37,7 +37,17 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import GraphError
 from repro.fg.factors import Factor
@@ -232,11 +242,18 @@ class FactorGraph:
         new = list(variables)
         if not new:
             return
+        # Validate the whole batch before touching anything: inserting
+        # while validating used to leave earlier names registered in
+        # _by_name (but absent from `variables`, with no invalidation)
+        # when a duplicate appeared mid-batch — a half-mutated graph.
+        batch = set()
         for variable in new:
-            if variable.name in self._by_name:
+            if variable.name in self._by_name or variable.name in batch:
                 raise GraphError(
                     f"variable {variable.name!r} is already in the graph"
                 )
+            batch.add(variable.name)
+        for variable in new:
             self._by_name[variable.name] = variable
         if index is None:
             self.variables.extend(new)
@@ -419,14 +436,14 @@ class FactorGraph:
                         return True
         return False
 
-    def _present_keys(self, factors: Iterable[Factor]) -> set:
+    def _present_keys(self, factors: Iterable[Factor]) -> Set[Tuple[Any, ...]]:
         """Keys among ``factors`` that exist under the current
         assignment, checked in one batch: every distinct endpoint's
         adjacency is instantiated once (instead of once per factor, as
         repeated :meth:`factor_exists` calls would)."""
         partners: List[HiddenVariable] = []
-        seen: set = set()
-        wanted: set = set()
+        seen: Set[Tuple[Any, ...]] = set()
+        wanted: Set[Tuple[Any, ...]] = set()
         for factor in factors:
             wanted.add(factor.key)
             for variable in factor.variables:
@@ -530,7 +547,7 @@ class FactorGraph:
     # ------------------------------------------------------------------
     # Pickling (multiprocess chain backend)
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # The adjacency cache rebuilds lazily; dropping it keeps chain
         # snapshots lean and sidesteps any identity subtleties of
         # pickling pooled factor instances alongside their variables.

@@ -13,7 +13,7 @@ values between graph and database in bulk.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Sequence
+from typing import Any, Callable, Iterable, List, Tuple
 
 from repro.db.database import Database
 from repro.fg.domain import Domain
@@ -27,7 +27,7 @@ def bind_field_variables(
     table: str,
     attr: str,
     domain: Domain,
-    where: Callable[[tuple], bool] | None = None,
+    where: Callable[[Tuple[Any, ...]], bool] | None = None,
 ) -> List[FieldVariable]:
     """One hidden variable per row of ``table`` for uncertain ``attr``.
 

@@ -29,7 +29,7 @@ functions; see :mod:`repro.ie.ner.model`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.fg.factors import Factor, LogLinearFactor
 from repro.fg.features import FeatureVector
@@ -160,7 +160,7 @@ class UnaryTemplate(Template):
             pass_variables=True,
         )
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # Pools rebuild lazily; dropping them keeps chain snapshots for
         # the multiprocess backend lean (and closure-free).
         state = self.__dict__.copy()
@@ -285,7 +285,7 @@ class PairwiseTemplate(Template):
             key_b = keys[b.name] = repr(b.name)
         return (a, b) if key_a <= key_b else (b, a)
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()
         state["_pool"] = {}
         state["_adjacent"] = {}

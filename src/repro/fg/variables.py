@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Any, Hashable, Sequence
 
 from repro.db.database import Database
-from repro.errors import DomainError
 from repro.fg.domain import Domain
 
 __all__ = ["Variable", "ObservedVariable", "HiddenVariable", "FieldVariable"]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, ItemsView, Tuple
 
 from repro.fg.features import FeatureVector
 
@@ -84,7 +84,7 @@ class Weights:
         out._version = self._version
         return out
 
-    def items(self):
+    def items(self) -> ItemsView[Tuple[str, Hashable], float]:
         return self._values.items()
 
     # ------------------------------------------------------------------
@@ -109,13 +109,13 @@ class Weights:
         return f"Weights({len(self._values)} parameters, |θ|={self.l2_norm():.3f})"
 
 
-def _encode(feature: Hashable):
+def _encode(feature: Hashable) -> Any:
     if isinstance(feature, tuple):
         return {"t": [_encode(f) for f in feature]}
     return feature
 
 
-def _decode(raw):
+def _decode(raw: Any) -> Hashable:
     if isinstance(raw, dict) and "t" in raw:
         return tuple(_decode(f) for f in raw["t"])
     return raw

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.db.database import Database
 from repro.db.delta import Delta

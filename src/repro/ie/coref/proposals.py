@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.errors import InferenceError
 from repro.fg.variables import HiddenVariable

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import List, Sequence
 
 from repro.ie.ner.labels import OUTSIDE, begin_label, inside_label
 from repro.rng import make_rng

@@ -10,7 +10,7 @@ one instance for interactive use.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.api.session import connect
 from repro.db.database import Database

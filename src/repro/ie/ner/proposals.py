@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.errors import InferenceError
 from repro.fg.variables import HiddenVariable

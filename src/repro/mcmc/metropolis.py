@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from dataclasses import dataclass
+from typing import Any, Dict
 
 from repro.fg.graph import FactorGraph
 from repro.fg.variables import FieldVariable, HiddenVariable
-from repro.mcmc.proposal import Proposal, ProposalDistribution
+from repro.mcmc.proposal import ProposalDistribution
 from repro.rng import make_rng
 
 __all__ = ["StepResult", "MHStatistics", "MetropolisHastings"]

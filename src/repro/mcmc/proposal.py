@@ -12,7 +12,7 @@ evaluated.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Sequence
 
 from repro.errors import InferenceError

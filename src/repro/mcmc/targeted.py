@@ -24,14 +24,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Sequence
 
-from repro.db.ra.ast import (
-    ColumnRef,
-    Comparison,
-    InList,
-    Like,
-    PlanNode,
-    Select,
-)
+from repro.db.ra.ast import PlanNode, Select
 from repro.errors import InferenceError
 from repro.fg.variables import FieldVariable, HiddenVariable
 from repro.mcmc.proposal import Proposal, ProposalDistribution

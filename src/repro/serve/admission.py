@@ -48,7 +48,7 @@ class _Ticket:
         await self._controller._admit(self._tenant)
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         self._controller._release(self._tenant)
 
 
@@ -73,7 +73,7 @@ class AdmissionController:
         self.max_concurrent = max_concurrent
         self._active = 0
         self._tenant_active: Dict[str, int] = {}
-        self._waiters: deque[asyncio.Future] = deque()
+        self._waiters: "deque[asyncio.Future[None]]" = deque()
         self.admitted = 0
         self.shed_queue_full = 0
         self.shed_timeout = 0
@@ -113,7 +113,9 @@ class AdmissionController:
         self._tenant_active[tenant] = self._tenant_active.get(tenant, 0) + 1
         self.admitted += 1
 
-    async def _wait_for_slot(self, loop, deadline: float) -> None:
+    async def _wait_for_slot(
+        self, loop: asyncio.AbstractEventLoop, deadline: float
+    ) -> None:
         remaining = deadline - loop.time()
         if remaining <= 0:
             self.shed_timeout += 1
@@ -169,7 +171,7 @@ class AdmissionController:
         """Requests currently parked waiting for a slot."""
         return len(self._waiters)
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, object]:
         return {
             "active": self._active,
             "queue_depth": self.queue_depth,

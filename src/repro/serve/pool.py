@@ -20,8 +20,10 @@ performs inline:
 * **dead-worker eviction** — a worker whose run raised is poisoned
   (its evaluator/view state may be half-updated, exactly the condition
   :meth:`Session._evict_if_dead` guards against); ``release()`` closes
-  it and builds a fresh replacement from the last committed snapshot
-  instead of returning it to the idle set;
+  it and schedules a fresh replacement, built from the last committed
+  snapshot *in a worker thread* (a build replays the whole world, far
+  too slow for the event loop) and handed to the longest waiter once
+  ready;
 * **idle keepalive** — :meth:`reap_idle` drops the cached evaluators
   (delta recorders + materialized views) of workers idle past the
   keepalive window, freeing view memory while keeping the chain warm.
@@ -55,7 +57,7 @@ class WorkerRun:
     """The outcome of one leased run: ranked marginal rows plus the
     cumulative sample count backing them."""
 
-    def __init__(self, rows: tuple, samples: int, wall: float):
+    def __init__(self, rows: Tuple[Row, ...], samples: int, wall: float):
         self.rows = rows
         self.samples = samples
         self.wall = wall
@@ -201,9 +203,10 @@ class WorkerPool:
         self.keepalive_s = keepalive_s
         self._workers: List[ChainWorker] = []
         self._idle: deque[ChainWorker] = deque()
-        self._waiters: deque[asyncio.Future] = deque()
+        self._waiters: "deque[asyncio.Future[ChainWorker]]" = deque()
         self._snapshot: Optional[Snapshot] = None
         self._next_index = 0
+        self._replacements: "set[asyncio.Task[None]]" = set()
         self._started = False
         self._closed = False
         self.leases = 0
@@ -221,10 +224,15 @@ class WorkerPool:
         self._idle.extend(self._workers)
         self._started = True
 
-    def _spawn(self, snapshot: Snapshot) -> ChainWorker:
-        worker = ChainWorker(self._next_index, self.factory, snapshot)
+    def _spawn(self, snapshot: Snapshot, index: Optional[int] = None) -> ChainWorker:
+        if index is None:
+            index = self._allocate_index()
+        return ChainWorker(index, self.factory, snapshot)
+
+    def _allocate_index(self) -> int:
+        index = self._next_index
         self._next_index += 1
-        return worker
+        return index
 
     def note_snapshot(self, snapshot: Snapshot) -> None:
         """Record the latest committed snapshot (used to build
@@ -282,9 +290,11 @@ class WorkerPool:
         return worker
 
     def release(self, worker: ChainWorker) -> None:
-        """Return a lease.  A failed/closed worker is evicted and
-        replaced by a fresh build from the last committed snapshot —
-        the pool-level analogue of ``Session._evict_if_dead``."""
+        """Return a lease.  A failed/closed worker is evicted — the
+        pool-level analogue of ``Session._evict_if_dead`` — and its
+        replacement build is scheduled off the event loop; building
+        inline here used to stall every tenant for a full world
+        rebuild, since release() runs on the loop thread."""
         worker.leased = False
         if self._closed:
             worker.close()
@@ -293,8 +303,34 @@ class WorkerPool:
             worker.close()
             self._workers.remove(worker)
             self.evictions += 1
-            worker = self._spawn(self._snapshot)
-            self._workers.append(worker)
+            self._schedule_replacement()
+            return
+        self._hand_off(worker)
+
+    def _schedule_replacement(self) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            # Pool driven synchronously (no loop to stall): build inline.
+            self._adopt(self._spawn(self._snapshot))
+            return
+        task = loop.create_task(self._replace())
+        self._replacements.add(task)
+        task.add_done_callback(self._replacements.discard)
+
+    async def _replace(self) -> None:
+        # Index allocated on the loop thread so concurrent replacements
+        # never race on the counter; only the slow build leaves it.
+        index = self._allocate_index()
+        snapshot = self._snapshot
+        worker = await asyncio.to_thread(self._spawn, snapshot, index)
+        self._adopt(worker)
+
+    def _adopt(self, worker: ChainWorker) -> None:
+        if self._closed:
+            worker.close()
+            return
+        self._workers.append(worker)
         self._hand_off(worker)
 
     def _hand_off(self, worker: ChainWorker) -> None:
@@ -322,7 +358,7 @@ class WorkerPool:
         return count
 
     # ------------------------------------------------------------------
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         return {
             "size": self.size,
             "idle": len(self._idle),
@@ -330,6 +366,7 @@ class WorkerPool:
             "queue_depth": len(self._waiters),
             "leases": self.leases,
             "evictions": self.evictions,
+            "replacing": len(self._replacements),
             "rebases": sum(w.rebases for w in self._workers),
             "runs": sum(w.runs for w in self._workers),
             "reaped": self.reaped,
@@ -339,6 +376,8 @@ class WorkerPool:
     def close(self) -> None:
         """Close every worker and fail parked acquirers."""
         self._closed = True
+        for task in list(self._replacements):
+            task.cancel()
         for future in list(self._waiters):
             if not future.done():
                 future.set_exception(

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.api.session import Session
 from repro.db.database import Database, Snapshot
@@ -106,7 +106,7 @@ class ReproServer:
         self._draining = False
         self._in_flight = 0
         self._idle_event: Optional[asyncio.Event] = None
-        self._reaper: Optional[asyncio.Task] = None
+        self._reaper: "Optional[asyncio.Task[None]]" = None
         self._sessions: list[ServerSession] = []
         self.served = {"query": 0, "probabilistic": 0, "dml": 0, "ddl": 0}
         self.commits = 0
@@ -121,9 +121,11 @@ class ReproServer:
             raise EvaluationError("server already started")
         self._idle_event = asyncio.Event()
         self._idle_event.set()
-        snapshot = self.engine.database.snapshot()
+        async with self._engine_lock:
+            # Off the loop: snapshotting copies the whole database.
+            snapshot = await asyncio.to_thread(self.engine.database.snapshot)
+            self._snapshot = snapshot
         await asyncio.to_thread(self.pool.start, snapshot)
-        self._snapshot = snapshot
         if self.pool.keepalive_s is not None:
             self._reaper = asyncio.create_task(self._reap_loop())
         self._started = True
@@ -153,7 +155,7 @@ class ReproServer:
     async def __aenter__(self) -> "ReproServer":
         return await self.start()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.drain()
 
     # ------------------------------------------------------------------
@@ -251,6 +253,9 @@ class ReproServer:
     # -- deterministic reads -------------------------------------------
     async def _serve_read(self, sql: str) -> ServeResult:
         async with self._engine_lock:
+            # repro-lint: disable=RL004 -- _route is an O(1) plan-cache
+            # hit (parse only on miss) and must run under the engine
+            # lock so (plan, version) stay atomic.
             _, _, plan = self.engine._route(sql)
             version, snapshot = self._committed_state()
             if self._replica is None or self._replica.version != version:
@@ -276,6 +281,9 @@ class ReproServer:
         self, sql: str, samples: int, burn_in: int
     ) -> ServeResult:
         async with self._engine_lock:
+            # repro-lint: disable=RL004 -- _route is an O(1) plan-cache
+            # hit (parse only on miss) and must run under the engine
+            # lock so (fingerprint, version) stay atomic.
             fingerprint, kind, plan = self.engine._route(sql)
             if kind != "query":
                 raise EvaluationError(
@@ -320,7 +328,7 @@ class ReproServer:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         """One aggregated observability snapshot of the whole server:
         engine session stats (plan cache, runners, version), marginal
         cache counters, pool liveness, admission counters, and served

@@ -27,7 +27,7 @@ What a session guarantees its client:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.errors import EvaluationError
 
@@ -58,7 +58,7 @@ class ServeResult:
     wall_ms: float = 0.0
     tenant: str = "default"
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
         return iter(self.rows)
 
     def __len__(self) -> int:
@@ -75,7 +75,7 @@ class _SessionCounters:
     cache_hits: int = 0
     shed: int = 0
     errors: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
 
 
 class ServerSession:
@@ -137,7 +137,7 @@ class ServerSession:
         """The latest committed version this session could observe now."""
         return self._server.version
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         """This session's counters plus the shared server stats."""
         return {
             "tenant": self.tenant,
@@ -154,5 +154,5 @@ class ServerSession:
     async def __aenter__(self) -> "ServerSession":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         self.close()

@@ -1,0 +1,28 @@
+"""Helpers for repro-lint tests: run rules over inline source.
+
+``lint()`` builds a :class:`~repro.analysis.framework.SourceFile` with
+an explicit ``rel_path`` (so scope prefixes like ``repro/fg/`` apply
+without touching the filesystem) and runs the engine over it.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import SourceFile, analyze
+from repro.analysis.rules import ALL_RULES, rules_by_id
+
+
+def source(code, rel_path):
+    code = textwrap.dedent(code)
+    return SourceFile(Path(rel_path), code, rel_path=rel_path)
+
+
+def lint(code, rel_path, rules=None, baseline=None):
+    """AnalysisReport from running ``rules`` (ids, default all) over
+    ``code`` pretending it lives at ``rel_path``."""
+    classes = rules_by_id(list(rules)) if rules else list(ALL_RULES)
+    return analyze([source(code, rel_path)], classes, baseline=baseline)
+
+
+def rule_ids(report):
+    return [finding.rule for finding in report.findings]

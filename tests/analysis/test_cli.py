@@ -1,0 +1,140 @@
+"""``python -m repro.analysis``: exit codes, reporters, baseline flow.
+
+Includes the meta-test: the committed tree itself must lint clean —
+repro-lint is a hard CI gate, so a red run here means a new violation
+landed without a fix or a justified suppression.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SEEDED_VIOLATION = textwrap.dedent(
+    """
+    import random
+
+
+    def propose(xs):
+        return random.choice(xs)
+    """
+)
+
+
+def run_lint(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def seed_violation(tmp_path):
+    """A violating module under a ``repro/fg/`` shaped tmp tree, so
+    path-scoped rules apply to it."""
+    bad = tmp_path / "repro" / "fg" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(SEEDED_VIOLATION, encoding="utf-8")
+    return bad
+
+
+class TestCommittedTree:
+    def test_source_tree_lints_clean(self):
+        result = run_lint("src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 finding(s)" in result.stdout
+
+    def test_committed_baseline_is_empty(self):
+        # Every pre-existing violation was fixed or suppressed inline;
+        # the baseline exists only as a mechanism for landing future
+        # rules, and must not silently grow.
+        baseline = json.loads(
+            (REPO_ROOT / ".repro-lint-baseline.json").read_text()
+        )
+        assert baseline == {"fingerprints": []}
+
+
+class TestExitCodes:
+    def test_seeded_violation_fails(self, tmp_path):
+        bad = seed_violation(tmp_path)
+        result = run_lint(str(bad))
+        assert result.returncode == 1
+        assert "RL003" in result.stdout
+
+    def test_unknown_rule_is_usage_error(self):
+        result = run_lint("--rules", "RL999", "src/repro")
+        assert result.returncode == 2
+        assert "RL999" in result.stderr
+
+    def test_missing_path_is_usage_error(self):
+        result = run_lint("does/not/exist")
+        assert result.returncode == 2
+        assert "no such path" in result.stderr
+
+    def test_unparsable_file_is_usage_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        result = run_lint(str(bad))
+        assert result.returncode == 2
+        assert "cannot parse" in result.stderr
+
+
+class TestReporters:
+    def test_json_report_schema(self, tmp_path):
+        bad = seed_violation(tmp_path)
+        result = run_lint("--format", "json", str(bad))
+        assert result.returncode == 1
+        document = json.loads(result.stdout)
+        assert document["version"] == 1
+        assert document["summary"]["findings"] == 1
+        assert document["summary"]["by_rule"] == {"RL003": 1}
+        (finding,) = document["findings"]
+        assert finding["rule"] == "RL003"
+        assert finding["path"] == "repro/fg/bad.py"
+        assert finding["symbol"] == "propose"
+        assert finding["fingerprint"].startswith("RL003|repro/fg/bad.py|")
+
+    def test_text_report_is_editor_clickable(self, tmp_path):
+        bad = seed_violation(tmp_path)
+        result = run_lint(str(bad))
+        first = result.stdout.splitlines()[0]
+        assert first.startswith("repro/fg/bad.py:")
+        assert " RL003 " in first
+
+    def test_list_rules_shows_the_whole_table(self):
+        result = run_lint("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in result.stdout
+
+    def test_rule_selection_limits_the_run(self, tmp_path):
+        bad = seed_violation(tmp_path)
+        result = run_lint("--rules", "RL004", str(bad))
+        assert result.returncode == 0  # RL003 violation, RL004-only run
+
+
+class TestBaselineFlow:
+    def test_write_then_apply_baseline(self, tmp_path):
+        bad = seed_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        wrote = run_lint(str(bad), "--write-baseline", str(baseline))
+        assert wrote.returncode == 0
+        assert json.loads(baseline.read_text())["fingerprints"]
+        rerun = run_lint(str(bad), "--baseline", str(baseline))
+        assert rerun.returncode == 0
+        assert "1 baselined" in rerun.stdout
+        # A *new* violation still fails through the baseline.
+        bad.write_text(
+            SEEDED_VIOLATION + "\n\ndef reseed():\n    random.seed(0)\n",
+            encoding="utf-8",
+        )
+        newfail = run_lint(str(bad), "--baseline", str(baseline))
+        assert newfail.returncode == 1

@@ -1,0 +1,187 @@
+"""The repro-lint engine: suppressions, baselines, scoping, hygiene."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, analyze
+from repro.analysis.framework import relative_module_path
+from repro.analysis.rules import ALL_RULES, RULE_TITLES, rules_by_id
+
+from analysis_support import lint, rule_ids, source
+
+# A minimal guaranteed RL003 violation, used to exercise the engine.
+VIOLATION = """
+    import random
+
+    def pick(xs):
+        return random.choice(xs)
+"""
+
+
+class TestSuppressions:
+    def test_inline_comment_silences_its_line(self):
+        report = lint(
+            """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)  # repro-lint: disable=RL003 -- test fixture
+            """,
+            "repro/mcmc/chain.py",
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_standalone_comment_silences_next_code_line(self):
+        report = lint(
+            """
+            import random
+
+            def pick(xs):
+                # repro-lint: disable=RL003 -- justification wrapped
+                # over a second plain comment line
+                return random.choice(xs)
+            """,
+            "repro/mcmc/chain.py",
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_wildcard_disables_every_rule(self):
+        report = lint(
+            """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)  # repro-lint: disable=* -- fixture
+            """,
+            "repro/mcmc/chain.py",
+        )
+        assert report.clean and report.suppressed == 1
+
+    def test_suppression_only_matches_listed_rule(self):
+        report = lint(
+            """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)  # repro-lint: disable=RL001 -- wrong rule
+            """,
+            "repro/mcmc/chain.py",
+        )
+        # The RL003 finding survives, and the RL001 suppression is
+        # flagged as useless (RL006).
+        assert sorted(rule_ids(report)) == ["RL003", "RL006"]
+
+    def test_useless_suppression_is_a_hygiene_finding(self):
+        report = lint(
+            """
+            def fine():  # repro-lint: disable=RL003 -- nothing here
+                return 1
+            """,
+            "repro/mcmc/chain.py",
+        )
+        assert rule_ids(report) == ["RL006"]
+        assert "useless suppression" in report.findings[0].message
+
+    def test_suppression_without_justification_is_a_hygiene_finding(self):
+        report = lint(
+            """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)  # repro-lint: disable=RL003
+            """,
+            "repro/mcmc/chain.py",
+        )
+        assert rule_ids(report) == ["RL006"]
+        assert "without justification" in report.findings[0].message
+        assert report.suppressed == 1  # it did suppress — just badly
+
+    def test_hash_inside_string_is_not_a_suppression(self):
+        report = lint(
+            """
+            import random
+
+            def pick(xs):
+                marker = "# repro-lint: disable=RL003 -- not a comment"
+                return random.choice(xs), marker
+            """,
+            "repro/mcmc/chain.py",
+        )
+        assert rule_ids(report) == ["RL003"]
+
+
+class TestBaseline:
+    def test_baselined_findings_do_not_fail(self):
+        dirty = lint(VIOLATION, "repro/mcmc/chain.py")
+        assert not dirty.clean
+        fingerprints = [f.fingerprint() for f in dirty.findings]
+        rebaselined = lint(
+            VIOLATION, "repro/mcmc/chain.py", baseline=fingerprints
+        )
+        assert rebaselined.clean
+        assert rebaselined.baselined == len(fingerprints)
+
+    def test_fingerprint_is_line_number_free(self):
+        shifted = "\n\n\n" + VIOLATION
+        a = lint(VIOLATION, "repro/mcmc/chain.py").findings[0]
+        b = lint(shifted, "repro/mcmc/chain.py").findings[0]
+        assert a.line != b.line
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_rule_path_and_symbol(self):
+        finding = Finding("RL003", "repro/x.py", 3, "msg", symbol="f")
+        assert finding.fingerprint() == "RL003|repro/x.py|f|msg"
+
+
+class TestScoping:
+    def test_rules_skip_out_of_scope_modules(self):
+        # RL002 only runs over repro/fg/ — the same mutation elsewhere
+        # is silent.
+        code = """
+            class FactorGraph:
+                def mutate(self, v):
+                    self.variables.append(v)
+        """
+        assert not lint(code, "repro/fg/graph.py", rules=["RL002"]).clean
+        assert lint(code, "repro/db/tables.py", rules=["RL002"]).clean
+
+    def test_relative_module_path_finds_repro_root(self):
+        path = Path("/somewhere/src/repro/fg/graph.py")
+        assert relative_module_path(path) == "repro/fg/graph.py"
+        assert relative_module_path(Path("scripts/x.py")) == "scripts/x.py"
+
+
+class TestRegistry:
+    def test_rules_by_id_roundtrip(self):
+        assert rules_by_id(["RL003"])[0].rule_id == "RL003"
+        with pytest.raises(KeyError, match="RL999"):
+            rules_by_id(["RL999"])
+
+    def test_every_rule_has_a_title(self):
+        for rule in ALL_RULES:
+            assert rule.rule_id in RULE_TITLES
+            assert RULE_TITLES[rule.rule_id]
+        assert "RL006" in RULE_TITLES  # engine-implemented hygiene rule
+
+    def test_findings_sorted_by_path_line_rule(self):
+        report = lint(
+            """
+            import random
+
+            def a(xs):
+                return random.choice(xs)
+
+            def b(xs):
+                return random.shuffle(xs)
+            """,
+            "repro/mcmc/chain.py",
+        )
+        lines = [f.line for f in report.findings]
+        assert lines == sorted(lines)
+
+    def test_syntax_error_surfaces_as_syntax_error(self):
+        with pytest.raises(SyntaxError):
+            source("def broken(:\n", "repro/x.py")

@@ -130,6 +130,30 @@ class TestAddRemoveVariables:
         with pytest.raises(GraphError, match="already in the graph"):
             model.graph.add_variables([HiddenVariable("v1", BIN, "0")])
 
+    def test_failed_batch_add_leaves_graph_unchanged(self):
+        """Regression (found by repro-lint RL002): a duplicate appearing
+        mid-batch used to leave the batch's earlier names registered in
+        the name index — absent from ``variables``, with no cache
+        invalidation — a half-mutated graph.  The whole batch must be
+        validated before anything is inserted."""
+        model = ChainModel(3)
+        fresh = HiddenVariable("v9", BIN, "0")
+        dupe = HiddenVariable("v1", BIN, "0")
+        before = list(model.graph.variables)
+        with pytest.raises(GraphError, match="already in the graph"):
+            model.graph.add_variables([fresh, dupe])
+        assert model.graph.find("v9") is None  # nothing half-registered
+        assert list(model.graph.variables) == before
+        # Intra-batch duplicates are rejected too.
+        twins = [
+            HiddenVariable("twin", BIN, "0"),
+            HiddenVariable("twin", BIN, "1"),
+        ]
+        with pytest.raises(GraphError, match="already in the graph"):
+            model.graph.add_variables(twins)
+        assert model.graph.find("twin") is None
+        assert len(model.graph) == 3
+
     def test_remove_unknown_rejected(self):
         model = ChainModel(3)
         with pytest.raises(GraphError, match="no hidden variable"):

@@ -1,6 +1,7 @@
 """WorkerPool: leasing fairness, rebasing, eviction, keepalive."""
 
 import asyncio
+import time
 
 import pytest
 
@@ -131,11 +132,74 @@ class TestRunsAndVersions:
             pool.release(worker)
             stats = pool.stats()
             assert stats["evictions"] == 1
-            assert stats["idle"] == 1  # a fresh replacement took its place
-            replacement = await pool.acquire()
+            # The replacement builds asynchronously off the loop; until
+            # it lands the pool is legitimately empty, not stalled.
+            assert stats["idle"] + stats["replacing"] == 1
+            replacement = await pool.acquire()  # parks until the build lands
             assert replacement is not worker and not replacement.failed
             # the replacement still serves runs
             assert replacement.run(fingerprint, plan, 2).samples == 3
+            pool.release(replacement)
+            pool.close()
+
+        asyncio.run(main())
+
+    def test_eviction_without_running_loop_builds_inline(self):
+        """Synchronous callers (no event loop to stall) still get the
+        eager inline replacement."""
+        _, session, pool = make_pool(size=1)
+        worker = pool._idle.popleft()
+        worker.leased = True
+        worker.failed = True
+        pool.release(worker)
+        stats = pool.stats()
+        assert stats["evictions"] == 1
+        assert stats["idle"] == 1
+        assert stats["replacing"] == 0
+        pool.close()
+
+    def test_replacement_builds_off_the_event_loop(self):
+        """Regression: release() used to build the replacement worker
+        synchronously on the loop thread, freezing every tenant for a
+        full world rebuild.  A heartbeat task must keep ticking while
+        a deliberately slow replacement builds."""
+
+        class SlowFactory:
+            def __init__(self, inner, delay):
+                self.inner = inner
+                self.delay = delay
+
+            def rebased(self, snapshot):
+                build = self.inner.rebased(snapshot)
+
+                def slow_build(index):
+                    time.sleep(self.delay)
+                    return build(index)
+
+                return slow_build
+
+        async def main():
+            task, session = make_engine()
+            pool = WorkerPool(SlowFactory(task.chain_factory(), 0.15), 1)
+            pool.start(session.database.snapshot())
+            fingerprint, plan = plan_for(session)
+            worker = await pool.acquire()
+            with pytest.raises(Exception):
+                worker.run(fingerprint, "not a plan", 1)
+            ticks = 0
+
+            async def heartbeat():
+                nonlocal ticks
+                while True:
+                    await asyncio.sleep(0.01)
+                    ticks += 1
+
+            beat = asyncio.create_task(heartbeat())
+            pool.release(worker)  # schedules the 0.15s replacement build
+            replacement = await pool.acquire()
+            beat.cancel()
+            assert replacement is not worker and not replacement.failed
+            assert ticks >= 5  # loop stayed live during the build
             pool.release(replacement)
             pool.close()
 

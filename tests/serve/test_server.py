@@ -12,6 +12,7 @@ interleaved query/DML traffic and asserts the serving contract:
 """
 
 import asyncio
+import time
 
 import pytest
 
@@ -32,6 +33,40 @@ def make_server(**kwargs):
     )
     kwargs.setdefault("workers", 2)
     return ReproServer(session, **kwargs)
+
+
+class TestStartup:
+    def test_start_snapshots_off_the_event_loop(self):
+        """Regression (found by repro-lint RL004): ``start()`` used to
+        call ``database.snapshot()`` directly on the loop thread — with
+        a large database that freezes every tenant for the whole copy.
+        A heartbeat task must keep ticking through a slow snapshot."""
+
+        async def main():
+            task, session = make_engine(num_tokens=30)
+            server = ReproServer(session, workers=1)
+            real_snapshot = session.database.snapshot
+
+            def slow_snapshot():
+                time.sleep(0.12)
+                return real_snapshot()
+
+            session.database.snapshot = slow_snapshot
+            ticks = 0
+
+            async def heartbeat():
+                nonlocal ticks
+                while True:
+                    await asyncio.sleep(0.01)
+                    ticks += 1
+
+            beat = asyncio.create_task(heartbeat())
+            await server.start()
+            beat.cancel()
+            assert ticks >= 4  # loop stayed live during the snapshot
+            await server.drain()
+
+        asyncio.run(main())
 
 
 class TestBasicServing:
