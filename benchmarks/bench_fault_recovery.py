@@ -1,0 +1,161 @@
+"""Fault recovery: checkpoint-resume vs snapshot-rebuild after a kill.
+
+A supervised worker is SIGKILLed mid-refinement at the 40k-token NER
+scale, leaving cadence checkpoints behind.  The two series measure the
+competing recovery strategies for bringing its chain back to
+query-ready marginals:
+
+``checkpoint_resume``
+    adopt the latest checkpoint — unpickle the serialized (world,
+    chain, estimator) state and replay only the few samples recorded
+    since the checkpoint boundary;
+
+``snapshot_rebuild``
+    what a checkpoint-free supervisor must do — rebuild the instance
+    from the factory snapshot (re-ground the whole model) and replay
+    *every* sample the dead chain had produced.
+
+``check_fault_recovery.py`` gates the committed
+``BENCH_fault_recovery.json`` on a ≥5× resume advantage, and the
+speedup test asserts the resumed chain is bit-identical to the rebuilt
+one — same floats, same cumulative sample counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import QUERY1, fmt_seconds, make_task, scale_factor
+from repro.core import ProcessPoolBackend, SequentialBackend
+from repro.resilience import (
+    Fault,
+    FaultPlan,
+    MemoryCheckpointStore,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+from check_fault_recovery import MIN_FAULT_RECOVERY_SPEEDUP
+
+FAULT_TOKENS = 40_000 * scale_factor()
+FAULT_STEPS_PER_SAMPLE = 1_000
+CHECKPOINT_EVERY = 25
+SAMPLES_BEFORE_KILL = 150
+KILL_AT_SAMPLE = 110  # mid-refinement, past several cadence checkpoints
+
+
+@pytest.fixture(scope="module")
+def killed_run():
+    """One supervised process-backend run whose single worker is
+    SIGKILLed mid-refinement and auto-resurrected; the store keeps the
+    cadence checkpoints the recovery series resume from."""
+    task = make_task(FAULT_TOKENS, steps_per_sample=FAULT_STEPS_PER_SAMPLE)
+    store = MemoryCheckpointStore()
+    config = ResilienceConfig(
+        store=store,
+        checkpoint_every=CHECKPOINT_EVERY,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0),
+        fault_plan=FaultPlan({0: [Fault("kill", at=KILL_AT_SAMPLE)]}),
+    )
+    with ProcessPoolBackend(resilience=config) as backend:
+        backend.start(task.chain_factory(base_seed=21), 1, [QUERY1])
+        result = backend.run(SAMPLES_BEFORE_KILL)
+        stats = backend.stats()
+    assert stats["respawns"] == 1
+    return task, store, result
+
+
+def _frozen_store(store):
+    """A per-round copy holding only the latest checkpoint, so resume
+    rounds never mutate (or advance) the shared fixture store."""
+    copy = MemoryCheckpointStore()
+    for key in store.keys():
+        copy.put(store.latest(key))
+    return copy
+
+
+def _resume(task, store):
+    """Checkpoint path: adopt the store, then one fresh sample."""
+    config = ResilienceConfig(
+        store=_frozen_store(store), checkpoint_every=CHECKPOINT_EVERY
+    )
+    with SequentialBackend(resilience=config) as backend:
+        backend.start(task.chain_factory(base_seed=21), 1, [QUERY1])
+        return backend.run(1, include_initial=False)
+
+
+def _rebuild(task):
+    """Checkpoint-free path: re-ground from the factory snapshot and
+    replay the dead chain's entire recorded history, then the same one
+    fresh sample."""
+    with SequentialBackend() as backend:
+        backend.start(task.chain_factory(base_seed=21), 1, [QUERY1])
+        return backend.run(SAMPLES_BEFORE_KILL + 1)
+
+
+@pytest.mark.benchmark(group="fault-recovery")
+def test_recovery_checkpoint_resume(benchmark, killed_run):
+    task, store, _ = killed_run
+    benchmark.pedantic(
+        lambda: _resume(task, store), rounds=5, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["tokens"] = FAULT_TOKENS
+    benchmark.extra_info["series"] = "checkpoint_resume"
+    benchmark.extra_info["steps_per_sample"] = FAULT_STEPS_PER_SAMPLE
+    benchmark.extra_info["samples_before_kill"] = SAMPLES_BEFORE_KILL
+
+
+@pytest.mark.benchmark(group="fault-recovery")
+def test_recovery_snapshot_rebuild(benchmark, killed_run):
+    task, _, _ = killed_run
+    benchmark.pedantic(
+        lambda: _rebuild(task), rounds=3, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["tokens"] = FAULT_TOKENS
+    benchmark.extra_info["series"] = "snapshot_rebuild"
+    benchmark.extra_info["steps_per_sample"] = FAULT_STEPS_PER_SAMPLE
+    benchmark.extra_info["samples_before_kill"] = SAMPLES_BEFORE_KILL
+
+
+@pytest.mark.benchmark(group="fault-recovery-speedup")
+def test_fault_recovery_speedup_and_bit_identity(benchmark, killed_run):
+    """Acceptance: after a worker kill at the 40k-token scale,
+    checkpoint-resume reaches query-ready marginals ≥5× faster than
+    snapshot-rebuild, and the resumed chain is bit-identical to an
+    uninterrupted one replayed from scratch."""
+    task, store, _ = killed_run
+
+    def experiment():
+        resumes = []
+        for _ in range(3):
+            started = time.perf_counter()
+            resumed = _resume(task, store)
+            resumes.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        rebuilt = _rebuild(task)
+        rebuild = time.perf_counter() - started
+        return min(resumes), rebuild, resumed, rebuilt
+
+    resume_seconds, rebuild_seconds, resumed, rebuilt = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    speedup = rebuild_seconds / resume_seconds
+    benchmark.extra_info["tokens"] = FAULT_TOKENS
+    benchmark.extra_info["resume_seconds"] = resume_seconds
+    benchmark.extra_info["rebuild_seconds"] = rebuild_seconds
+    benchmark.extra_info["speedup"] = speedup
+    print(
+        f"\nfault recovery @ {FAULT_TOKENS} tokens: checkpoint-resume "
+        f"{fmt_seconds(resume_seconds)} vs snapshot-rebuild "
+        f"{fmt_seconds(rebuild_seconds)} — {speedup:.1f}x"
+    )
+    assert speedup >= MIN_FAULT_RECOVERY_SPEEDUP
+    # Bit-identity: resuming the killed chain from its checkpoint and
+    # replaying the whole history from scratch land on the same pooled
+    # marginals with the same cumulative sample counts.
+    assert (
+        resumed.marginals.probabilities() == rebuilt.marginals.probabilities()
+    )
+    assert resumed.marginals.num_samples == rebuilt.marginals.num_samples

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""CI gate for the fault-recovery acceptance criterion.
+
+Reads a pytest-benchmark JSON produced by::
+
+    pytest benchmarks/bench_fault_recovery.py \\
+        --benchmark-json=BENCH_fault_recovery.json
+
+and fails (exit 1) when checkpoint-resume is not at least
+``--min-speedup`` times faster than snapshot-rebuild at bringing a
+killed worker's chain back to query-ready marginals at the 40k-token
+NER scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Single source of truth for the gate; bench_fault_recovery.py imports
+# this for its in-test assertion and CI uses the script's default, so
+# one edit moves every enforcement point.
+MIN_FAULT_RECOVERY_SPEEDUP = 5.0
+
+
+def series_means(report: dict) -> dict[str, float]:
+    """series name -> mean seconds for the fault-recovery group."""
+    out: dict[str, float] = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("group") != "fault-recovery":
+            continue
+        series = bench.get("extra_info", {}).get("series")
+        if series:
+            out[series] = bench["stats"]["mean"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_FAULT_RECOVERY_SPEEDUP,
+        help=(
+            "smallest allowed rebuild/resume mean-time ratio "
+            f"(default {MIN_FAULT_RECOVERY_SPEEDUP})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+    means = series_means(report)
+    missing = {"checkpoint_resume", "snapshot_rebuild"} - means.keys()
+    if missing:
+        print(f"fault-recovery series missing from report: {sorted(missing)}")
+        return 1
+    speedup = means["snapshot_rebuild"] / means["checkpoint_resume"]
+    print(
+        f"checkpoint-resume {means['checkpoint_resume'] * 1e3:.2f}ms vs "
+        f"snapshot-rebuild {means['snapshot_rebuild'] * 1e3:.2f}ms "
+        f"-> {speedup:.1f}x (gate: >= {args.min_speedup}x)"
+    )
+    if speedup < args.min_speedup:
+        print("FAIL: checkpoint-resume advantage below the gate")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from repro.analysis.rules.cache_invalidation import CacheInvalidationRule
 from repro.analysis.rules.rng_discipline import RngDisciplineRule
 from repro.analysis.rules.async_discipline import AsyncDisciplineRule
 from repro.analysis.rules.dml_routing import DmlRoutingRule
+from repro.analysis.rules.resilience_discipline import ResilienceDisciplineRule
 
 __all__ = ["ALL_RULES", "RULE_TITLES", "rules_by_id"]
 
@@ -25,6 +26,7 @@ ALL_RULES: List[Type[Rule]] = [
     RngDisciplineRule,
     AsyncDisciplineRule,
     DmlRoutingRule,
+    ResilienceDisciplineRule,
 ]
 
 RULE_TITLES: Dict[str, str] = {

@@ -1,0 +1,94 @@
+"""RL007 — no swallowed failures in the fault-tolerance paths.
+
+The resilience layer's whole contract is that failures are *seen*:
+a worker death must reach the supervisor to trigger checkpoint-resume,
+a checkpoint-write error must be counted (and the chain kept running),
+a poisoned serve worker must be evicted, and the circuit breaker must
+be fed every failure or it never opens.  A ``try``/``except`` that
+silently eats an exception in these modules converts a recoverable
+fault into a hang or a silently-wrong marginal — the exact bug class
+this PR's chaos suite exists to catch.
+
+Flagged, inside the retry/supervision/serving-resilience scope:
+
+* **bare ``except:``** — always; it catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too, so even a re-raising handler is wrong as written
+  (catch ``Exception`` or a typed error instead);
+* **``except Exception``/``except BaseException`` with a do-nothing
+  body** — only ``pass``/``continue``/``...``/docstring statements:
+  the handler observes the broadest failure class and drops it on the
+  floor.  Handlers that re-raise, return a fallback, log/count the
+  failure, or catch a *typed* exception are all fine — the rule bans
+  silent blanket swallowing, not recovery.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Rule
+
+__all__ = ["ResilienceDisciplineRule"]
+
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _exception_names(handler: ast.ExceptHandler) -> set:
+    """The exception class names a handler catches (empty for bare)."""
+    node = handler.type
+    if node is None:
+        return set()
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for item in items:
+        if isinstance(item, ast.Name):
+            names.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.add(item.attr)
+    return names
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # docstring or bare `...`
+    return False
+
+
+class ResilienceDisciplineRule(Rule):
+    rule_id = "RL007"
+    title = (
+        "no bare except and no silently-swallowed broad exceptions in "
+        "retry/supervision/serving-resilience paths"
+    )
+    scope = (
+        "repro/resilience/",
+        "repro/core/backends.py",
+        "repro/serve/pool.py",
+        "repro/serve/server.py",
+    )
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            if handler.type is None:
+                self.report(
+                    handler,
+                    "bare except in a fault-tolerance path catches "
+                    "KeyboardInterrupt/SystemExit and hides the failure "
+                    "from the supervisor; catch a typed error (or "
+                    "Exception) and surface it",
+                )
+                continue
+            caught = _exception_names(handler)
+            if caught & BROAD_EXCEPTIONS and all(
+                _is_noop(stmt) for stmt in handler.body
+            ):
+                broad = ", ".join(sorted(caught & BROAD_EXCEPTIONS))
+                self.report(
+                    handler,
+                    f"except {broad} with a do-nothing body swallows the "
+                    "failure the resilience layer exists to observe; "
+                    "re-raise, count it, or serve a typed fallback",
+                )
+        self.generic_visit(node)

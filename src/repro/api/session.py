@@ -73,6 +73,7 @@ from repro.db.sql.parser import parse_script, parse_statement
 from repro.errors import EvaluationError, QueryError, SessionBusyError
 from repro.fg.graph import GraphRepair
 from repro.mcmc.chain import MarkovChain
+from repro.resilience import ResilienceConfig
 
 __all__ = ["Session", "connect"]
 
@@ -156,8 +157,9 @@ class _ParallelRunner:
         chains: int,
         backend: str,
         evaluator_cls: type = MaterializedEvaluator,
+        resilience: Optional[ResilienceConfig] = None,
     ):
-        self.backend = make_backend(backend)
+        self.backend = make_backend(backend, resilience=resilience)
         # In-process chains reuse the compiled plan; worker processes
         # receive the SQL text and compile against their own world copy
         # (plans are not part of the pickled snapshot contract).
@@ -196,6 +198,7 @@ class _ShardedRunner:
         evaluator_cls: type = MaterializedEvaluator,
         partitioner: Optional[Partitioner] = None,
         validate_graph: Any = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         # In-process units reuse the compiled plan; worker processes
         # receive the SQL text and compile against their own shard copy
@@ -211,6 +214,7 @@ class _ShardedRunner:
             backend=backend,
             evaluator_cls=evaluator_cls,
             validate_graph=validate_graph,
+            resilience=resilience,
         )
         self._first = True
 
@@ -559,6 +563,7 @@ class Session:
         backend: str = "sequential",
         shards: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> Cursor:
         """Execute one SQL statement and return its cursor.
 
@@ -601,6 +606,14 @@ class Session:
         probabilistic queries, continues the cached runner — in-process
         chains and worker processes alike — so marginals accumulate
         across calls exactly like :meth:`AnytimeCursor.refine`.
+
+        ``resilience`` supervises the run's chain workers
+        (:class:`~repro.resilience.ResilienceConfig`): they checkpoint
+        at the configured cadence and a crashed or wedged worker is
+        respawned from its last checkpoint — bit-identical marginals,
+        no re-burn-in — instead of failing the statement.  Implies the
+        chain-factory execution path (like ``chains>1``), so it needs a
+        ``chain_factory`` from :meth:`attach_model`.
         """
         self._check_open()
         self._acquire_guard()
@@ -626,7 +639,15 @@ class Session:
                     columns=columns,
                 )
             runner = self._prepare_routed(
-                key, sql, plan, evaluator, chains, backend, shards, partitioner
+                key,
+                sql,
+                plan,
+                evaluator,
+                chains,
+                backend,
+                shards,
+                partitioner,
+                resilience,
             )
             try:
                 result = runner.run(samples, burn_in=burn_in)
@@ -686,6 +707,7 @@ class Session:
         backend: str = "sequential",
         shards: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         """The (cached) probabilistic runner for ``sql``.
 
@@ -701,7 +723,15 @@ class Session:
                     f"only SELECT can be evaluated probabilistically ({kind})"
                 )
             return self._prepare_routed(
-                key, sql, plan, evaluator, chains, backend, shards, partitioner
+                key,
+                sql,
+                plan,
+                evaluator,
+                chains,
+                backend,
+                shards,
+                partitioner,
+                resilience,
             )
         finally:
             self._exec_guard.release()
@@ -716,6 +746,7 @@ class Session:
         backend: str = "sequential",
         shards: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         validate_backend_name(backend)
         evaluator_cls = _EVALUATOR_CLASSES.get(evaluator, MaterializedEvaluator)
@@ -744,6 +775,7 @@ class Session:
                 # split gets its own runner without touching runners
                 # earlier cursors still hold.
                 partitioner.fingerprint() if partitioner is not None else None,
+                resilience.fingerprint() if resilience is not None else None,
             )
             runner = self._evict_if_dead(runner_key)
             if runner is None:
@@ -766,13 +798,20 @@ class Session:
                     evaluator_cls,
                     partitioner=partitioner,
                     validate_graph=graph,
+                    resilience=resilience,
                 )
                 self._runners[runner_key] = runner
             return runner
         # Multi-chain execution is requested explicitly (evaluator
-        # "parallel"), by asking for more than one chain, or by naming
-        # a non-default backend.
-        if evaluator == "parallel" or chains > 1 or backend != "sequential":
+        # "parallel"), by asking for more than one chain, by naming a
+        # non-default backend, or by asking for supervised (resilient)
+        # workers — which only exist on the factory-built path.
+        if (
+            evaluator == "parallel"
+            or chains > 1
+            or backend != "sequential"
+            or resilience is not None
+        ):
             if self._chain_factory is None:
                 raise EvaluationError(
                     "parallel evaluation needs a chain_factory; pass one to "
@@ -780,7 +819,14 @@ class Session:
                 )
             if chains < 1:
                 raise EvaluationError("need at least one chain")
-            runner_key = (key, "parallel", chains, backend, evaluator_cls.__name__)
+            runner_key = (
+                key,
+                "parallel",
+                chains,
+                backend,
+                evaluator_cls.__name__,
+                resilience.fingerprint() if resilience is not None else None,
+            )
             runner = self._evict_if_dead(runner_key)
             if runner is None:
                 factory = self._chain_factory
@@ -792,7 +838,7 @@ class Session:
                 if rebase is not None:
                     factory = rebase(self.database.snapshot())
                 runner = _ParallelRunner(
-                    factory, sql, plan, chains, backend, evaluator_cls
+                    factory, sql, plan, chains, backend, evaluator_cls, resilience
                 )
                 self._runners[runner_key] = runner
             return runner

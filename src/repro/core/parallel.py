@@ -32,6 +32,7 @@ from repro.errors import EvaluationError
 from repro.core.backends import ChainFactory, make_backend, validate_backend_name
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
 from repro.core.materialized import MaterializedEvaluator
+from repro.resilience import ResilienceConfig
 
 __all__ = ["ChainFactory", "ParallelEvaluator"]
 
@@ -51,6 +52,7 @@ class ParallelEvaluator:
         num_chains: int,
         evaluator_cls: Type[QueryEvaluator] = MaterializedEvaluator,
         backend: str = "sequential",
+        resilience: "ResilienceConfig | None" = None,
     ):
         if num_chains < 1:
             raise EvaluationError("need at least one chain")
@@ -60,13 +62,14 @@ class ParallelEvaluator:
         self.num_chains = num_chains
         self.evaluator_cls = evaluator_cls
         self.backend = backend
+        self.resilience = resilience
         self.chain_results: List[EvaluationResult] = []
 
     def run(self, samples_per_chain: int, burn_in: int = 0) -> EvaluationResult:
         """Run every chain for ``samples_per_chain`` thinned samples and
         pool the counts (the paper's cross-chain averaging).  ``burn_in``
         thinned samples are discarded per chain before recording."""
-        backend = make_backend(self.backend)
+        backend = make_backend(self.backend, resilience=self.resilience)
         try:
             backend.start(
                 self.factory, self.num_chains, self.queries, self.evaluator_cls

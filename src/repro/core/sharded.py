@@ -79,6 +79,7 @@ from repro.core.backends import (
 from repro.core.evaluator import EvaluationResult, QueryEvaluator
 from repro.core.marginals import MarginalEstimator
 from repro.core.materialized import MaterializedEvaluator
+from repro.resilience import ResilienceConfig
 from repro.rng import make_rng, spawn
 
 __all__ = [
@@ -253,6 +254,10 @@ class ShardedEvaluator:
         Independent chains per shard (K×M units in total).
     backend:
         ``"sequential"`` or ``"process"`` — where units execute.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig` handed to
+        the backend: unit workers checkpoint their chains and are
+        respawned (with retry/backoff) after a crash or wedge.
     validate_graph:
         A :class:`~repro.fg.graph.FactorGraph` over the *full* database
         to check for cross-shard factors (skipped when ``None`` or when
@@ -274,6 +279,7 @@ class ShardedEvaluator:
         base_seed: int = 0,
         validate_graph=None,
         replicate: Sequence[str] = (),
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if num_shards < 1:
             raise ShardingError(f"need at least one shard, got {num_shards}")
@@ -346,7 +352,7 @@ class ShardedEvaluator:
             self.unit_seeds,
             database.name,
         )
-        self.backend: ChainBackend = make_backend(backend)
+        self.backend: ChainBackend = make_backend(backend, resilience=resilience)
         try:
             self.backend.start(factory, num_units, list(queries), evaluator_cls)
         except BaseException:

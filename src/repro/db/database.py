@@ -13,6 +13,7 @@ and ground-truth estimation.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, Sequence, Tuple
 
 from repro.db.delta import Delta, DeltaRecorder
@@ -149,6 +150,20 @@ class Database:
 
     def detach_recorder(self, recorder: DeltaRecorder) -> None:
         self._recorders.remove(recorder)
+
+    @contextmanager
+    def suspended_recorders(self) -> Iterator[None]:
+        """Temporarily detach every delta recorder.
+
+        Used while pickling the database for a checkpoint: the pickled
+        copy must not carry live recorder buffers (they belong to the
+        evaluator that attached them and are rebuilt on resume).
+        """
+        recorders, self._recorders = self._recorders, []
+        try:
+            yield
+        finally:
+            self._recorders = recorders
 
     def apply_delta(self, delta: Delta) -> None:
         """Apply a signed delta directly (used to replay/undo changes).

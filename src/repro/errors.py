@@ -58,6 +58,66 @@ class EvaluationError(ReproError):
     """Query evaluation over the probabilistic database failed."""
 
 
+class WorkerTimeoutError(EvaluationError):
+    """A chain worker stayed alive but produced no reply (and no
+    heartbeat) within its deadline.  Distinct from
+    :class:`WorkerCrashError`: the process is wedged, not dead, so the
+    supervisor must kill it before rebuilding.  Subclasses
+    :class:`EvaluationError` so pre-existing callers that caught the
+    broad class keep working."""
+
+    def __init__(self, message: str, worker_index: int = -1):
+        self.worker_index = worker_index
+        super().__init__(message)
+
+
+class RemoteTraceback(ReproError):
+    """Carrier for a worker-process traceback re-raised in the parent.
+
+    Chained (``raise WorkerCrashError(...) from RemoteTraceback(...)``)
+    so the remote stack renders in the parent's traceback display
+    instead of being flattened into a message string."""
+
+
+class WorkerCrashError(EvaluationError):
+    """A chain worker died (killed, crashed, or raised remotely).
+
+    ``remote_traceback`` holds the worker-side traceback text when the
+    failure crossed the pipe as an error reply (``None`` for a killed
+    process, which never got to report); ``exit_code`` is the process
+    exit status when known."""
+
+    def __init__(
+        self,
+        message: str,
+        worker_index: int = -1,
+        remote_traceback: str | None = None,
+        exit_code: int | None = None,
+    ):
+        self.worker_index = worker_index
+        self.remote_traceback = remote_traceback
+        self.exit_code = exit_code
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """A chain checkpoint could not be serialized, stored, or loaded.
+    Checkpoint *write* failures are non-fatal to the running chain (the
+    worker keeps sampling and reports the skip); a missing or unreadable
+    checkpoint at recovery time is fatal for that worker."""
+
+
+class RetryExhaustedError(ReproError):
+    """A supervised operation failed on every attempt its
+    :class:`~repro.resilience.RetryPolicy` allowed (or its deadline
+    expired first).  ``attempts`` is how many were made; the last
+    failure is chained as ``__cause__``."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        self.attempts = attempts
+        super().__init__(message)
+
+
 class LiveUpdateError(ReproError):
     """A DML-driven incremental repair of the attached model failed;
     the model may be inconsistent with the stored world and cached
@@ -77,8 +137,11 @@ class ServeOverloadError(ReproError):
 
     ``reason`` discriminates the shed path: ``"queue_full"`` (the
     bounded admission queue was at capacity), ``"timeout"`` (the
-    request waited longer than the admission deadline), or
-    ``"shutdown"`` (the server is draining and accepts no new work).
+    request waited longer than the admission deadline),
+    ``"tenant_cap"`` (one tenant held all its slots), ``"shutdown"``
+    (the server is draining and accepts no new work), or
+    ``"degraded"`` (the worker circuit breaker is open and no cached
+    marginals exist within the staleness bound).
     """
 
     def __init__(self, message: str, reason: str = "queue_full"):

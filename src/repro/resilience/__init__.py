@@ -1,0 +1,121 @@
+"""Fault tolerance for long-running inference (``repro.resilience``).
+
+The paper's promise — anytime, ever-improving marginals over hours-long
+MCMC runs — is only as good as the run's ability to survive its own
+infrastructure.  This package supplies the four pieces the engine and
+the serving layer compose:
+
+* :mod:`~repro.resilience.checkpoint` — chain checkpoints and stores;
+  a killed worker resumes bit-identically instead of re-burning in.
+* :mod:`~repro.resilience.retry` — bounded, deadline-aware retry with
+  seeded-jitter backoff.
+* :mod:`~repro.resilience.heartbeat` / :mod:`~repro.resilience.breaker`
+  — liveness tracking and the degraded-serving circuit breaker.
+* :mod:`~repro.resilience.faults` — the deterministic fault-injection
+  schedule behind the chaos test suite.
+
+:class:`ResilienceConfig` bundles the knobs a caller threads through
+``Session.execute(..., resilience=...)``, ``ShardedEvaluator`` or
+``ProcessPoolBackend`` directly.  ``None`` everywhere means the
+pre-existing behavior: no checkpoints, no retries, crash = raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.heartbeat import HeartbeatMonitor
+from repro.resilience.retry import RetryPolicy, with_retry
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "DiskCheckpointStore",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HeartbeatMonitor",
+    "MemoryCheckpointStore",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "with_retry",
+]
+
+
+@dataclass
+class ResilienceConfig:
+    """Supervision policy for a pool of chain workers.
+
+    ``checkpoint_every`` is a sample cadence: every N recorded samples
+    the worker serializes its state and ships it to ``store`` (0
+    disables checkpointing — crashed workers then fall back to the
+    rebuild-from-scratch path).  ``heartbeat_every`` paces worker
+    liveness messages in samples; ``heartbeat_timeout`` is how many
+    seconds of *total silence* (no heartbeat, checkpoint or reply) the
+    supervisor tolerates before declaring a worker wedged — it should
+    comfortably exceed the worst-case time between recorded samples.
+    ``retry`` bounds respawn attempts per worker; backoff jitter is
+    drawn from a :func:`~repro.rng.make_rng` seeded with ``seed`` so
+    restart schedules replay exactly.  ``fault_plan`` installs a chaos
+    schedule (tests only; ``None`` in production).
+    """
+
+    store: Optional[CheckpointStore] = None
+    checkpoint_every: int = 25
+    heartbeat_every: int = 1
+    heartbeat_timeout: float = 30.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: Optional[FaultPlan] = None
+    key_prefix: str = "chain"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be >= 1")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0")
+
+    def ensure_store(self) -> CheckpointStore:
+        """The configured store, creating an in-memory one on first use
+        when the caller left it unset."""
+        if self.store is None:
+            self.store = MemoryCheckpointStore()
+        return self.store
+
+    def key_for(self, index: int) -> str:
+        return f"{self.key_prefix}:{index}"
+
+    def fingerprint(self) -> Tuple:
+        """Content identity for runner-cache keys.  The store is
+        identity-compared: two configs sharing a store object may share
+        a runner, two distinct stores must not."""
+        return (
+            id(self.store),
+            self.checkpoint_every,
+            self.heartbeat_every,
+            self.heartbeat_timeout,
+            self.retry.fingerprint(),
+            self.fault_plan.fingerprint() if self.fault_plan else None,
+            self.key_prefix,
+            self.seed,
+        )

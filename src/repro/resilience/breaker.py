@@ -1,0 +1,122 @@
+"""Circuit breaker: stop hammering a failing dependency, degrade instead.
+
+When the serving layer's chain workers start failing repeatedly, every
+further probabilistic request pays a full lease + rebuild + crash cycle
+before its tenant sees an error — the overload spiral admission control
+cannot prevent because each request *is* admitted.  The breaker
+converts that into a cheap, typed answer: after ``failure_threshold``
+consecutive failures it *opens*, the server routes probabilistic reads
+into degraded mode (cached, stale-bounded marginals flagged
+``ServeResult.degraded``), and after ``cooldown_s`` a single probe is
+let through (*half-open*) to test recovery — success closes the
+breaker, failure re-opens it for another cooldown.
+
+The clock is injectable so tests drive state transitions without
+sleeping.  The breaker is not thread-safe by design: it lives on the
+asyncio loop thread of :class:`~repro.serve.server.ReproServer`, where
+single-threaded mutation is the concurrency model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.trips = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (resolving any
+        expired cooldown first, so the reported state is current)."""
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+            self._probe_out = False
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the protected operation may run now.
+
+        Closed: always.  Open: no.  Half-open: exactly one probe per
+        cooldown window — concurrent callers beyond the probe are
+        refused so a recovering worker is not instantly re-swamped.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and not self._probe_out:
+            self._probe_out = True
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """The protected operation succeeded: close and reset."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_out = False
+
+    def record_failure(self) -> None:
+        """The protected operation failed: count toward the threshold,
+        trip when reached, and re-open immediately on a failed probe."""
+        self._consecutive_failures += 1
+        self._maybe_half_open()
+        if self._state == HALF_OPEN:
+            self._trip()
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probe_out = False
+        self.trips += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+            "probes": self.probes,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.state}, failures={self._consecutive_failures})"

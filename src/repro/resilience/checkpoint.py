@@ -1,0 +1,207 @@
+"""Chain checkpoints: the one artifact worth preserving across crashes.
+
+A burned-in MCMC chain is expensive to rebuild — PR 5 measured the
+resume-vs-reburn asymmetry at ~100x — and, because a chain's sample
+stream is a pure function of its pickled state, it is also *cheap to
+preserve*: serialize ``(world, RNG state, estimator counts, progress)``
+at a sample boundary and a resurrected worker continues bit-identically
+where the dead one left off.
+
+A :class:`Checkpoint` is that serialized state plus the progress
+coordinates the supervisor needs to replay any commands issued after
+it (``runs_completed`` full run commands, ``records_done`` samples of
+the in-flight one).  A :class:`CheckpointStore` keeps the latest
+checkpoint per worker key: :class:`MemoryCheckpointStore` in the
+supervising process (fast, dies with it), :class:`DiskCheckpointStore`
+as one atomically-replaced file per key (survives the supervisor too).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DiskCheckpointStore",
+]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One worker's serialized chain state at a sample boundary.
+
+    ``payload`` is the pickled worker state (world + chain + cumulative
+    estimator counts).  ``runs_completed`` counts fully-finished run
+    commands at capture time; ``records_done`` counts samples already
+    recorded within the then-in-flight run (0 at a run boundary) and
+    ``initial_recorded`` whether that partial run already counted its
+    initial-world sample — together they tell the supervisor exactly
+    how much of the in-flight command remains.  ``steps`` is the
+    kernel's cumulative proposal count (observability only).
+    """
+
+    key: str
+    seq: int
+    runs_completed: int
+    records_done: int
+    initial_recorded: bool
+    steps: int
+    payload: bytes
+    cpu_total: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"checkpoint {self.key}#{self.seq} "
+            f"(runs={self.runs_completed}, +{self.records_done} records, "
+            f"{len(self.payload)} bytes)"
+        )
+
+
+class CheckpointStore:
+    """Latest-checkpoint-per-key storage contract.
+
+    Stores keep only the most recent checkpoint per key — recovery
+    never wants an older one (replay from any checkpoint is exact, so
+    newer strictly dominates) — and reject out-of-order puts, which
+    indicate two supervisors writing the same key.
+    """
+
+    def put(self, checkpoint: Checkpoint) -> None:
+        raise NotImplementedError
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        raise NotImplementedError
+
+    def discard(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        for key in self.keys():
+            self.discard(key)
+
+    def _check_order(self, checkpoint: Checkpoint) -> None:
+        existing = self.latest(checkpoint.key)
+        if existing is not None and existing.seq >= checkpoint.seq:
+            raise CheckpointError(
+                f"out-of-order checkpoint for {checkpoint.key!r}: "
+                f"seq {checkpoint.seq} after {existing.seq} (two "
+                f"supervisors writing one key?)"
+            )
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-process store: the default for a supervisor that outlives its
+    workers (worker crashes are survivable, supervisor crashes are
+    not)."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[str, Checkpoint] = {}
+        self.puts = 0
+
+    def put(self, checkpoint: Checkpoint) -> None:
+        self._check_order(checkpoint)
+        self._latest[checkpoint.key] = checkpoint
+        self.puts += 1
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        return self._latest.get(key)
+
+    def discard(self, key: str) -> None:
+        self._latest.pop(key, None)
+
+    def keys(self) -> List[str]:
+        return sorted(self._latest)
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """One file per key under ``directory``, replaced atomically.
+
+    Writes go to a temp file in the same directory followed by
+    ``os.replace``, so a crash mid-write leaves the previous checkpoint
+    intact — a torn checkpoint would otherwise poison recovery, which
+    is the one moment the store must not fail.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.puts = 0
+
+    def _path(self, key: str) -> Path:
+        # Keys contain ":" (backend prefix separators); keep filenames
+        # portable.
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+        return self.directory / f"{safe}.ckpt"
+
+    def put(self, checkpoint: Checkpoint) -> None:
+        self._check_order(checkpoint)
+        path = self._path(checkpoint.key)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(checkpoint, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise CheckpointError(
+                f"could not write {checkpoint.describe()} to {path}: {exc}"
+            ) from exc
+        self.puts += 1
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                loaded = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise CheckpointError(
+                f"could not load checkpoint for {key!r} from {path}: {exc}"
+            ) from exc
+        if not isinstance(loaded, Checkpoint):
+            raise CheckpointError(
+                f"{path} does not contain a Checkpoint (got {type(loaded).__name__})"
+            )
+        return loaded
+
+    def discard(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def keys(self) -> List[str]:
+        # Filenames are sanitized, so recover keys from the stored
+        # checkpoints themselves.
+        out = []
+        for path in sorted(self.directory.glob("*.ckpt")):
+            try:
+                with path.open("rb") as handle:
+                    loaded = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                continue
+            if isinstance(loaded, Checkpoint):
+                out.append(loaded.key)
+        return sorted(out)

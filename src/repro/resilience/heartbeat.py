@@ -1,0 +1,54 @@
+"""Per-worker heartbeat bookkeeping.
+
+Liveness, not progress: a worker that is *advancing* its chain beats on
+every recorded sample, so "no beat within the window" separates the
+wedged worker (alive, silent — the one failure mode a process exit code
+never reports) from the merely slow one.  Both the process backend's
+supervisor and the serving pool keep one :class:`HeartbeatMonitor`;
+tests inject the clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Last-beat-per-key tracking with staleness queries."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._last: Dict[str, float] = {}
+        self.beats = 0
+
+    def beat(self, key: str) -> None:
+        """Record one sign of life for ``key``."""
+        self._last[key] = self._clock()
+        self.beats += 1
+
+    def age(self, key: str) -> Optional[float]:
+        """Seconds since ``key`` last beat (``None`` if never)."""
+        last = self._last.get(key)
+        return None if last is None else self._clock() - last
+
+    def is_stale(self, key: str, timeout: float) -> bool:
+        """Whether ``key`` has gone quiet for longer than ``timeout``.
+        A key that never beat is *not* stale — staleness means a
+        heartbeat stream stopped, not that one never started."""
+        age = self.age(key)
+        return age is not None and age > timeout
+
+    def stale_keys(self, timeout: float) -> List[str]:
+        return sorted(k for k in self._last if self.is_stale(k, timeout))
+
+    def drop(self, key: str) -> None:
+        """Forget ``key`` (its worker was evicted or replaced)."""
+        self._last.pop(key, None)
+
+    def ages(self) -> Dict[str, float]:
+        """Current age per tracked key (observability snapshot)."""
+        now = self._clock()
+        return {key: now - last for key, last in sorted(self._last.items())}

@@ -1,0 +1,126 @@
+"""Bounded retry with exponential backoff and seeded jitter.
+
+The paper's engine is an *operated* system: chains run for hours and
+workers die for reasons that have nothing to do with the model (OOM
+kills, node drains, flaky pipes).  Retrying is correct exactly because
+chain recovery is deterministic — a worker resumed from its checkpoint
+replays the same sample stream — so the only policy questions are *how
+many times* and *how long to wait between attempts*.
+
+Jitter is drawn from a caller-supplied :class:`random.Random`, never
+the global RNG: a supervised run's restart schedule is part of its
+reproducible behavior (the RL003 discipline), and chaos tests assert
+exact delay sequences.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import RetryExhaustedError
+
+__all__ = ["RetryPolicy", "with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed operation is retried.
+
+    ``max_attempts`` counts *total* tries, not retries: ``3`` means one
+    initial attempt plus two retries.  The delay before retry ``n``
+    (1-based) is ``min(base_delay * multiplier**(n-1), max_delay)``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` — full decorrelation without ever
+    waiting longer than ``max_delay * (1 + jitter)``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered by
+        ``rng``.  Always consumes exactly one draw so delay sequences
+        are a pure function of ``(policy, rng state)``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        spread = rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return raw * spread
+
+    def fingerprint(self) -> Tuple[float, ...]:
+        """Content identity (used in runner-cache keys)."""
+        return (
+            float(self.max_attempts),
+            self.base_delay,
+            self.multiplier,
+            self.max_delay,
+            self.jitter,
+        )
+
+
+def with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    rng: Random,
+    *,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    deadline: Optional[float] = None,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> T:
+    """Call ``fn`` until it succeeds, the policy is exhausted, or the
+    deadline passes.
+
+    ``deadline`` is an absolute ``clock()`` instant: no retry *starts*
+    past it, and a backoff that would sleep past it is truncated to the
+    remaining budget (deadline-aware, not deadline-oblivious).
+    ``on_retry(attempt, error, delay)`` fires before each backoff —
+    the supervisor's logging/stats hook.  Exceptions outside
+    ``retry_on`` propagate immediately.
+
+    Raises :class:`~repro.errors.RetryExhaustedError` with the last
+    failure chained when every allowed attempt failed.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt >= policy.max_attempts:
+                break
+            pause = policy.delay(attempt, rng)
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    raise RetryExhaustedError(
+                        f"deadline expired after attempt {attempt}",
+                        attempts=attempt,
+                    ) from exc
+                pause = min(pause, remaining)
+            if on_retry is not None:
+                on_retry(attempt, exc, pause)
+            if pause > 0:
+                sleep(pause)
+    raise RetryExhaustedError(
+        f"all {policy.max_attempts} attempts failed", attempts=policy.max_attempts
+    ) from last

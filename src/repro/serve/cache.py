@@ -79,6 +79,33 @@ class MarginalCache:
         self._hits += 1
         return entry
 
+    def get_stale(
+        self,
+        fingerprint: str,
+        version: int,
+        max_lag: Optional[int] = None,
+        min_samples: int = 0,
+    ) -> Optional[CachedMarginals]:
+        """Best-effort degraded-mode lookup: the *newest* cached entry
+        for this plan at any version ``<= version`` (never a version the
+        request could not yet observe), optionally bounded to at most
+        ``max_lag`` versions behind.  Unlike :meth:`get`, staleness is
+        possible by construction here — callers must mark the result
+        degraded.  Does not touch the hit/miss counters or LRU order:
+        degraded serves should not distort the cache's own telemetry.
+        """
+        best: Optional[CachedMarginals] = None
+        for (entry_fp, entry_version), entry in self._entries.items():
+            if entry_fp != fingerprint or entry_version > version:
+                continue
+            if max_lag is not None and version - entry_version > max_lag:
+                continue
+            if entry.samples < min_samples:
+                continue
+            if best is None or entry_version > best.version:
+                best = entry
+        return best
+
     def put(
         self, fingerprint: str, version: int, rows: Tuple[Any, ...], samples: int
     ) -> None:

@@ -47,6 +47,8 @@ from repro.core.materialized import MaterializedEvaluator
 from repro.db.database import Database, Snapshot
 from repro.errors import EvaluationError, ServeOverloadError
 from repro.mcmc.chain import MarkovChain
+from repro.resilience.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.resilience.heartbeat import HeartbeatMonitor
 
 __all__ = ["ChainWorker", "WorkerPool", "WorkerRun"]
 
@@ -86,7 +88,13 @@ class _WorkerQuery:
 class ChainWorker:
     """One resident inference worker, leased exclusively per run."""
 
-    def __init__(self, index: int, factory: Any, snapshot: Snapshot):
+    def __init__(
+        self,
+        index: int,
+        factory: Any,
+        snapshot: Snapshot,
+        fault_spec: Optional[FaultSpec] = None,
+    ):
         self.index = index
         self.factory = factory
         self.version = -1
@@ -99,6 +107,9 @@ class ChainWorker:
         self.closed = False
         self.runs = 0
         self.rebases = 0
+        self._injector: Optional[FaultInjector] = (
+            None if fault_spec is None else fault_spec.injector()
+        )
         self._build(snapshot)
 
     # ------------------------------------------------------------------
@@ -136,6 +147,12 @@ class ChainWorker:
             raise EvaluationError(f"chain worker {self.index} is closed")
         started = time.perf_counter()
         try:
+            if self._injector is not None:
+                # Chaos hook: in-process workers have no pid/pipe to
+                # kill, so every fatal fault kind degrades to a raised
+                # EvaluationError — which rides the normal poison→evict
+                # path below, exactly what the harness wants to test.
+                self._injector.on_run(self.runs)
             query = self._queries.get(fingerprint)
             if query is None:
                 query = _WorkerQuery(
@@ -187,9 +204,21 @@ class WorkerPool:
     keepalive_s:
         Idle window after which :meth:`reap_idle` frees a worker's
         cached view state (``None`` disables reaping).
+    fault_plan:
+        Optional seeded :class:`~repro.resilience.faults.FaultPlan` for
+        chaos testing.  A worker spawned at index *i* carries the plan's
+        faults for that index; replacement workers get fresh indexes, so
+        a fault fires at most once and the replacement runs clean.
     """
 
-    def __init__(self, factory: Any, size: int, *, keepalive_s: float | None = None):
+    def __init__(
+        self,
+        factory: Any,
+        size: int,
+        *,
+        keepalive_s: float | None = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         if size < 1:
             raise EvaluationError("worker pool needs size >= 1")
         if not callable(getattr(factory, "rebased", None)):
@@ -201,6 +230,8 @@ class WorkerPool:
         self.factory = factory
         self.size = size
         self.keepalive_s = keepalive_s
+        self.fault_plan = fault_plan
+        self.heartbeats = HeartbeatMonitor()
         self._workers: List[ChainWorker] = []
         self._idle: deque[ChainWorker] = deque()
         self._waiters: "deque[asyncio.Future[ChainWorker]]" = deque()
@@ -227,7 +258,14 @@ class WorkerPool:
     def _spawn(self, snapshot: Snapshot, index: Optional[int] = None) -> ChainWorker:
         if index is None:
             index = self._allocate_index()
-        return ChainWorker(index, self.factory, snapshot)
+        spec = (
+            self.fault_plan.for_worker(index)
+            if self.fault_plan is not None
+            else None
+        )
+        worker = ChainWorker(index, self.factory, snapshot, fault_spec=spec)
+        self.heartbeats.beat(f"worker-{index}")
+        return worker
 
     def _allocate_index(self) -> int:
         index = self._next_index
@@ -302,9 +340,11 @@ class WorkerPool:
         if worker.failed or worker.closed:
             worker.close()
             self._workers.remove(worker)
+            self.heartbeats.drop(f"worker-{worker.index}")
             self.evictions += 1
             self._schedule_replacement()
             return
+        self.heartbeats.beat(f"worker-{worker.index}")
         self._hand_off(worker)
 
     def _schedule_replacement(self) -> None:
@@ -371,6 +411,9 @@ class WorkerPool:
             "runs": sum(w.runs for w in self._workers),
             "reaped": self.reaped,
             "versions": sorted({w.version for w in self._workers}),
+            "heartbeats": {
+                key: round(age, 3) for key, age in self.heartbeats.ages().items()
+            },
         }
 
     def close(self) -> None:

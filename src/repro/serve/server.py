@@ -40,6 +40,8 @@ from repro.api.session import Session
 from repro.db.database import Database, Snapshot
 from repro.db.ra.eval import evaluate_rows
 from repro.errors import EvaluationError, ServeOverloadError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import MarginalCache
 from repro.serve.pool import WorkerPool
@@ -67,6 +69,21 @@ class ReproServer:
     keepalive_s:
         Knobs forwarded to the marginal cache, admission controller and
         worker pool (see their modules).
+    breaker:
+        Circuit breaker guarding the probabilistic path.  Consecutive
+        worker failures trip it open; while open, probabilistic reads
+        are served *degraded* from the newest stale cached marginals
+        (``ServeResult.degraded=True``) or shed with
+        ``reason="degraded"`` when no usable entry exists.  Defaults to
+        a :class:`~repro.resilience.breaker.CircuitBreaker` with its
+        stock threshold/cooldown; pass an instance to tune or to inject
+        a fake clock in tests.
+    stale_max_lag:
+        In degraded mode, serve a cached entry at most this many
+        committed versions behind the observed version (``None`` = any
+        older entry qualifies).
+    fault_plan:
+        Seeded chaos plan forwarded to the worker pool (tests only).
     """
 
     def __init__(
@@ -81,6 +98,9 @@ class ReproServer:
         queue_timeout: float = 5.0,
         max_concurrent: Optional[int] = None,
         keepalive_s: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        stale_max_lag: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         factory = chain_factory if chain_factory is not None else engine._chain_factory
         if factory is None:
@@ -90,8 +110,12 @@ class ReproServer:
                 "chain_factory=task.chain_factory())) or pass chain_factory="
             )
         self.engine = engine
-        self.pool = WorkerPool(factory, workers, keepalive_s=keepalive_s)
+        self.pool = WorkerPool(
+            factory, workers, keepalive_s=keepalive_s, fault_plan=fault_plan
+        )
         self.cache = MarginalCache(cache_size)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.stale_max_lag = stale_max_lag
         self.admission = AdmissionController(
             max_pending=max_pending,
             per_tenant=per_tenant,
@@ -111,6 +135,8 @@ class ReproServer:
         self.served = {"query": 0, "probabilistic": 0, "dml": 0, "ddl": 0}
         self.commits = 0
         self.shed_shutdown = 0
+        self.degraded_served = 0
+        self.shed_degraded = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -232,9 +258,17 @@ class ReproServer:
             # The committed world moved: drop the cached snapshot and
             # read replica, eagerly free now-unreachable marginals, and
             # let the pool build future replacements from a fresh copy.
+            # With stale_max_lag set, a window of recent versions is
+            # kept alive — unreachable for normal reads (keyed lookups
+            # still miss) but servable by degraded mode.
             self._snapshot = None
             self._replica = None
-            self.cache.invalidate_below(version)
+            floor = (
+                version
+                if self.stale_max_lag is None
+                else version - self.stale_max_lag
+            )
+            self.cache.invalidate_below(floor)
             self.commits += 1
         return ServeResult(
             kind=cursor.statement_kind,
@@ -302,6 +336,8 @@ class ReproServer:
                 samples=cached.samples,
                 cached=True,
             )
+        if not self.breaker.allow():
+            return self._degraded_result(fingerprint, version, columns)
         worker = await self.pool.acquire(timeout=self.queue_timeout)
         try:
             if worker.version != version:
@@ -313,8 +349,16 @@ class ReproServer:
             run = await asyncio.to_thread(
                 worker.run, fingerprint, plan, samples, burn_in
             )
+        except Exception:
+            # Worker-path failure (poisoned worker, rebase error):
+            # feed the breaker so repeated failures open it and route
+            # subsequent reads into degraded mode instead of burning a
+            # worker per request.
+            self.breaker.record_failure()
+            raise
         finally:
             self.pool.release(worker)
+        self.breaker.record_success()
         self.cache.put(fingerprint, version, run.rows, run.samples)
         return ServeResult(
             kind="probabilistic",
@@ -323,6 +367,34 @@ class ReproServer:
             columns=columns,
             rowcount=len(run.rows),
             samples=run.samples,
+        )
+
+    def _degraded_result(
+        self, fingerprint: str, version: int, columns: Tuple[str, ...]
+    ) -> ServeResult:
+        """Breaker-open fallback: the newest stale cached marginals for
+        this plan (bounded by ``stale_max_lag``), marked ``degraded``;
+        shed with ``reason="degraded"`` when nothing usable is cached."""
+        stale = self.cache.get_stale(
+            fingerprint, version, max_lag=self.stale_max_lag
+        )
+        if stale is None:
+            self.shed_degraded += 1
+            raise ServeOverloadError(
+                "probabilistic path is degraded (circuit breaker open) "
+                "and no stale cached marginals are available",
+                reason="degraded",
+            )
+        self.degraded_served += 1
+        return ServeResult(
+            kind="probabilistic",
+            db_version=version,
+            rows=stale.rows,
+            columns=columns,
+            rowcount=len(stale.rows),
+            samples=stale.samples,
+            cached=True,
+            degraded=True,
         )
 
     # ------------------------------------------------------------------
@@ -342,6 +414,9 @@ class ReproServer:
             "served": dict(self.served),
             "commits": self.commits,
             "shed_shutdown": self.shed_shutdown,
+            "breaker": self.breaker.stats(),
+            "degraded_served": self.degraded_served,
+            "shed_degraded": self.shed_degraded,
             "in_flight": self._in_flight,
             "sessions": len(self._sessions),
             "draining": self._draining,

@@ -45,7 +45,11 @@ class ServeResult:
     staleness audit trail every serving test and bench asserts on.
     ``cached`` marks probabilistic answers served from the shared
     marginal cache; ``samples`` is the cumulative sample count backing
-    a probabilistic answer.
+    a probabilistic answer.  ``degraded`` marks answers served from a
+    *stale* cached entry while the probabilistic path's circuit breaker
+    is open: the rows are real marginals, but computed against an older
+    committed version than the request observed (``db_version`` still
+    reports the observed version; the entry's own version is older).
     """
 
     kind: str
@@ -55,6 +59,7 @@ class ServeResult:
     rowcount: int = 0
     samples: int = 0
     cached: bool = False
+    degraded: bool = False
     wall_ms: float = 0.0
     tenant: str = "default"
 
@@ -73,6 +78,7 @@ class _SessionCounters:
     probabilistic: int = 0
     writes: int = 0
     cache_hits: int = 0
+    degraded: int = 0
     shed: int = 0
     errors: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -127,6 +133,8 @@ class ServerSession:
             self.counters.probabilistic += 1
             if result.cached:
                 self.counters.cache_hits += 1
+            if result.degraded:
+                self.counters.degraded += 1
         else:
             self.counters.queries += 1
         return result

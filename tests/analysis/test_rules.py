@@ -483,3 +483,108 @@ class TestRL005DmlRouting:
             rules=["RL005"],
         )
         assert report.clean and report.suppressed == 1
+
+
+class TestRL007ResilienceDiscipline:
+    def test_bare_except_flagged(self):
+        report = lint(
+            """
+            def supervise(worker):
+                try:
+                    worker.join()
+                except:
+                    worker.restart()
+            """,
+            "repro/resilience/retry.py",
+            rules=["RL007"],
+        )
+        assert rule_ids(report) == ["RL007"]
+        assert "bare except" in report.findings[0].message
+
+    def test_swallowed_broad_exception_flagged(self):
+        report = lint(
+            """
+            def pump(conn):
+                try:
+                    conn.recv()
+                except Exception:
+                    pass
+            """,
+            "repro/core/backends.py",
+            rules=["RL007"],
+        )
+        assert rule_ids(report) == ["RL007"]
+        assert "swallows" in report.findings[0].message
+
+    def test_swallowed_base_exception_in_loop_flagged(self):
+        report = lint(
+            """
+            def drain(conns):
+                for conn in conns:
+                    try:
+                        conn.recv()
+                    except BaseException:
+                        continue
+            """,
+            "repro/serve/pool.py",
+            rules=["RL007"],
+        )
+        assert rule_ids(report) == ["RL007"]
+
+    def test_reraising_broad_handler_is_clean(self):
+        report = lint(
+            """
+            def run(worker, breaker):
+                try:
+                    return worker.run()
+                except Exception:
+                    breaker.record_failure()
+                    raise
+            """,
+            "repro/serve/server.py",
+            rules=["RL007"],
+        )
+        assert report.clean
+
+    def test_typed_noop_handler_is_clean(self):
+        report = lint(
+            """
+            def forget(sessions, handle):
+                try:
+                    sessions.remove(handle)
+                except ValueError:
+                    pass
+            """,
+            "repro/serve/server.py",
+            rules=["RL007"],
+        )
+        assert report.clean
+
+    def test_out_of_scope_module_is_exempt(self):
+        report = lint(
+            """
+            def parse(text):
+                try:
+                    return int(text)
+                except:
+                    return None
+            """,
+            "repro/db/sql/parser.py",
+            rules=["RL007"],
+        )
+        assert report.clean
+
+    def test_suppressed_with_justification(self):
+        report = lint(
+            """
+            def best_effort(conn):
+                try:
+                    conn.close()
+                # repro-lint: disable=RL007 -- close on a dead pipe may fail
+                except Exception:
+                    pass
+            """,
+            "repro/resilience/checkpoint.py",
+            rules=["RL007"],
+        )
+        assert report.clean and report.suppressed == 1

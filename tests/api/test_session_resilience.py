@@ -1,0 +1,108 @@
+"""Session-level supervision: execute(..., resilience=...) end to end."""
+
+import pytest
+
+import repro
+from repro.errors import RetryExhaustedError
+from repro.ie.ner import NerTask
+from repro.ie.ner.pdb import NerPipeline
+from repro.resilience import (
+    Fault,
+    FaultPlan,
+    MemoryCheckpointStore,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0)
+
+
+def make_session(seed=0):
+    task = NerTask(80, corpus_seed=seed, steps_per_sample=10)
+    instance = task.make_instance(chain_seed=seed + 1)
+    return repro.connect(instance.db).attach_model(
+        instance, chain_factory=task.chain_factory()
+    )
+
+
+def config(plan=None, **kwargs):
+    kwargs.setdefault("store", MemoryCheckpointStore())
+    kwargs.setdefault("checkpoint_every", 3)
+    kwargs.setdefault("retry", FAST_RETRY)
+    return ResilienceConfig(fault_plan=plan, **kwargs)
+
+
+class TestResilientExecution:
+    def test_supervised_run_matches_unfaulted(self):
+        # Same session structure, same seeds: a run whose worker is
+        # SIGKILLed mid-statement must produce the same marginals as a
+        # fault-free supervised run.
+        clean = make_session()
+        chaos = make_session()
+        reference = clean.execute(
+            QUERY, samples=12, backend="process", resilience=config()
+        )
+        plan = FaultPlan({0: [Fault("kill", at=6)]})
+        survived = chaos.execute(
+            QUERY, samples=12, backend="process", resilience=config(plan)
+        )
+        assert survived.fetchall() == reference.fetchall()
+        assert survived.num_samples == reference.num_samples
+        clean.close()
+        chaos.close()
+
+    def test_resilience_implies_supervised_path_even_sequential(self):
+        session = make_session()
+        resilience = config()
+        cursor = session.execute(QUERY, samples=6, resilience=resilience)
+        assert cursor.num_samples == 7
+        # The chain checkpointed at the run boundary.
+        assert resilience.store.keys() == ["chain:0"]
+        assert resilience.store.latest("chain:0").runs_completed == 1
+        session.close()
+
+    def test_same_config_reuses_runner_anytime(self):
+        session = make_session()
+        resilience = config()
+        first = session.execute(QUERY, samples=6, resilience=resilience)
+        second = session.execute(QUERY, samples=6, resilience=resilience)
+        # Cumulative refinement through one cached runner: 7 then +6.
+        assert first.num_samples == 7
+        assert second.num_samples == 13
+        assert session.stats()["runners"]["total"] == 1
+        session.close()
+
+    def test_distinct_stores_build_distinct_runners(self):
+        session = make_session()
+        session.execute(QUERY, samples=4, resilience=config())
+        session.execute(QUERY, samples=4, resilience=config())
+        assert session.stats()["runners"]["total"] == 2
+        session.close()
+
+    def test_sharded_execution_accepts_resilience(self):
+        pipeline = NerPipeline.build(200, seed=0, steps_per_sample=10)
+        resilience = config()
+        cursor = pipeline.session.execute(
+            QUERY, samples=4, shards=2, resilience=resilience
+        )
+        assert cursor.rowcount >= 0
+        assert resilience.store.keys()  # per-unit checkpoints landed
+        pipeline.session.close()
+
+    def test_retry_exhaustion_fails_statement_then_recovers(self):
+        session = make_session()
+        doomed = config(
+            FaultPlan({0: [Fault("kill", at=2, all_incarnations=True)]}),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        with pytest.raises(RetryExhaustedError):
+            session.execute(
+                QUERY, samples=10, backend="process", resilience=doomed
+            )
+        # The dead runner was evicted; a clean statement rebuilds.
+        cursor = session.execute(
+            QUERY, samples=4, backend="process", resilience=config()
+        )
+        assert cursor.num_samples == 5
+        session.close()

@@ -1,0 +1,97 @@
+"""Fault tolerance composed with data-parallel sharding.
+
+Each (shard, chain) unit is one supervised worker of the process
+backend, so checkpoint-resume must preserve the sharded result exactly:
+the union merge over shards is only as deterministic as every unit's
+sample stream.
+"""
+
+import pytest
+
+from repro.core import ShardedEvaluator
+from repro.errors import RetryExhaustedError
+from repro.ie.ner import NerTask
+from repro.resilience import (
+    Fault,
+    FaultPlan,
+    MemoryCheckpointStore,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0)
+
+
+@pytest.fixture(scope="module")
+def task():
+    # 200 tokens is the smallest corpus whose documents hash onto both
+    # shards (120 lands entirely in shard 0).
+    return NerTask(200, corpus_seed=0, steps_per_sample=20)
+
+
+@pytest.fixture(scope="module")
+def expected(task):
+    with ShardedEvaluator(
+        task._initial, task.shard_chain_factory(), [QUERY], 2, base_seed=5
+    ) as evaluator:
+        result = evaluator.run(8)
+    return result.marginals.probabilities(), result.marginals.num_samples
+
+
+def test_unit_kill_recovers_bit_identical(task, expected):
+    config = ResilienceConfig(
+        store=MemoryCheckpointStore(),
+        checkpoint_every=3,
+        retry=FAST_RETRY,
+        fault_plan=FaultPlan({1: [Fault("kill", at=5)]}),
+    )
+    with ShardedEvaluator(
+        task._initial,
+        task.shard_chain_factory(),
+        [QUERY],
+        2,
+        base_seed=5,
+        backend="process",
+        resilience=config,
+    ) as evaluator:
+        result = evaluator.run(8)
+    assert result.marginals.probabilities() == expected[0]
+    assert result.marginals.num_samples == expected[1]
+    assert config.store.keys() == ["chain:0", "chain:1"]
+
+
+def test_unit_retry_exhaustion_propagates(task):
+    config = ResilienceConfig(
+        store=MemoryCheckpointStore(),
+        checkpoint_every=3,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        fault_plan=FaultPlan({0: [Fault("kill", at=1, all_incarnations=True)]}),
+    )
+    with pytest.raises(RetryExhaustedError):
+        with ShardedEvaluator(
+            task._initial,
+            task.shard_chain_factory(),
+            [QUERY],
+            2,
+            base_seed=5,
+            backend="process",
+            resilience=config,
+        ) as evaluator:
+            evaluator.run(8)
+
+
+def test_sequential_sharded_checkpoints(task, expected):
+    config = ResilienceConfig(store=MemoryCheckpointStore(), checkpoint_every=2)
+    with ShardedEvaluator(
+        task._initial,
+        task.shard_chain_factory(),
+        [QUERY],
+        2,
+        base_seed=5,
+        resilience=config,
+    ) as evaluator:
+        result = evaluator.run(8)
+    assert result.marginals.probabilities() == expected[0]
+    assert config.store.keys() == ["chain:0", "chain:1"]
+    assert config.store.latest("chain:0").runs_completed == 1

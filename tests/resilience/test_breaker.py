@@ -1,0 +1,92 @@
+"""CircuitBreaker: closed/open/half-open transitions on a fake clock."""
+
+import pytest
+
+from repro.resilience import CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = Clock()
+    return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+
+class TestTransitions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1)
+
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_open_at_threshold(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_allows_single_probe(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller refused
+        assert breaker.probes == 1
+
+    def test_successful_probe_closes(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 2
+        clock.advance(5.0)
+        assert breaker.allow()  # fresh probe each cooldown
+
+    def test_stats_snapshot(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["state"] == "closed"
+        assert stats["consecutive_failures"] == 1
+        assert stats["failure_threshold"] == 2

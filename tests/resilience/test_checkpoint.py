@@ -1,0 +1,105 @@
+"""Checkpoint stores: latest-per-key, ordering, atomic disk writes."""
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import Checkpoint, DiskCheckpointStore, MemoryCheckpointStore
+
+
+def ckpt(key="chain:0", seq=1, runs=0, records=0, payload=b"state"):
+    return Checkpoint(
+        key=key,
+        seq=seq,
+        runs_completed=runs,
+        records_done=records,
+        initial_recorded=False,
+        steps=0,
+        payload=payload,
+    )
+
+
+STORES = [
+    pytest.param(lambda tmp: MemoryCheckpointStore(), id="memory"),
+    pytest.param(lambda tmp: DiskCheckpointStore(tmp / "ckpts"), id="disk"),
+]
+
+
+@pytest.mark.parametrize("make_store", STORES)
+class TestStoreContract:
+    def test_latest_wins(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.put(ckpt(seq=1, payload=b"old"))
+        store.put(ckpt(seq=2, payload=b"new"))
+        latest = store.latest("chain:0")
+        assert latest.seq == 2 and latest.payload == b"new"
+
+    def test_out_of_order_put_rejected(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.put(ckpt(seq=5))
+        with pytest.raises(CheckpointError, match="out-of-order"):
+            store.put(ckpt(seq=5))
+        with pytest.raises(CheckpointError, match="out-of-order"):
+            store.put(ckpt(seq=4))
+
+    def test_keys_and_discard(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.put(ckpt(key="chain:0"))
+        store.put(ckpt(key="chain:1"))
+        assert store.keys() == ["chain:0", "chain:1"]
+        store.discard("chain:0")
+        assert store.keys() == ["chain:1"]
+        assert store.latest("chain:0") is None
+        store.discard("chain:0")  # idempotent
+
+    def test_clear(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.put(ckpt(key="chain:0"))
+        store.put(ckpt(key="chain:1"))
+        store.clear()
+        assert store.keys() == []
+
+    def test_missing_key_is_none(self, make_store, tmp_path):
+        assert make_store(tmp_path).latest("nope") is None
+
+
+class TestDiskStore:
+    def test_survives_reopen(self, tmp_path):
+        DiskCheckpointStore(tmp_path / "c").put(ckpt(seq=3, payload=b"abc"))
+        reopened = DiskCheckpointStore(tmp_path / "c")
+        latest = reopened.latest("chain:0")
+        assert latest.seq == 3 and latest.payload == b"abc"
+
+    def test_key_sanitization_roundtrips(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path / "c")
+        store.put(ckpt(key="shard:2/chain:0"))
+        assert store.keys() == ["shard:2/chain:0"]
+        assert store.latest("shard:2/chain:0") is not None
+
+    def test_corrupt_file_raises_typed_error(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path / "c")
+        store.put(ckpt())
+        path = next((tmp_path / "c").glob("*.ckpt"))
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="could not load"):
+            store.latest("chain:0")
+
+    def test_wrong_type_raises_typed_error(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path / "c")
+        store.put(ckpt())
+        path = next((tmp_path / "c").glob("*.ckpt"))
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError, match="does not contain"):
+            store.latest("chain:0")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path / "c")
+        for seq in range(1, 6):
+            store.put(ckpt(seq=seq))
+        leftovers = list((tmp_path / "c").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_describe_mentions_progress(self):
+        text = ckpt(seq=4, runs=2, records=7).describe()
+        assert "#4" in text and "runs=2" in text and "+7 records" in text

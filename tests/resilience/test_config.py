@@ -1,0 +1,52 @@
+"""ResilienceConfig: validation, lazy store, fingerprint identity."""
+
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    Fault,
+    MemoryCheckpointStore,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ResilienceConfig(checkpoint_every=-1)
+    with pytest.raises(ValueError):
+        ResilienceConfig(heartbeat_every=0)
+    with pytest.raises(ValueError):
+        ResilienceConfig(heartbeat_timeout=0)
+
+
+def test_ensure_store_is_lazy_and_sticky():
+    config = ResilienceConfig()
+    store = config.ensure_store()
+    assert isinstance(store, MemoryCheckpointStore)
+    assert config.ensure_store() is store
+
+
+def test_explicit_store_is_kept():
+    store = MemoryCheckpointStore()
+    assert ResilienceConfig(store=store).ensure_store() is store
+
+
+def test_key_for_uses_prefix():
+    assert ResilienceConfig().key_for(2) == "chain:2"
+    assert ResilienceConfig(key_prefix="shard3").key_for(0) == "shard3:0"
+
+
+def test_fingerprint_tracks_content_and_store_identity():
+    store = MemoryCheckpointStore()
+    a = ResilienceConfig(store=store)
+    b = ResilienceConfig(store=store)
+    assert a.fingerprint() == b.fingerprint()
+    # Different store object: must not share a cached runner.
+    c = ResilienceConfig(store=MemoryCheckpointStore())
+    assert c.fingerprint() != a.fingerprint()
+    # Policy and plan feed the fingerprint too.
+    d = ResilienceConfig(store=store, retry=RetryPolicy(max_attempts=9))
+    assert d.fingerprint() != a.fingerprint()
+    e = ResilienceConfig(store=store, fault_plan=FaultPlan({0: [Fault("kill", 1)]}))
+    assert e.fingerprint() != a.fingerprint()

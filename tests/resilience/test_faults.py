@@ -1,0 +1,107 @@
+"""FaultPlan / FaultSpec / FaultInjector: seeded, explicit, fire-once."""
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, EvaluationError
+from repro.resilience import FAULT_KINDS, Fault, FaultPlan
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown fault kind"):
+            Fault("meteor", at=0)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(EvaluationError):
+            Fault("kill", at=-1)
+
+
+class TestFaultPlan:
+    def test_explicit_plan_routes_by_worker(self):
+        plan = FaultPlan({1: [Fault("kill", at=5)], 3: [Fault("slow", at=0)]})
+        assert plan.worker_indexes() == [1, 3]
+        assert plan.for_worker(0) is None
+        assert plan.for_worker(1).faults == (Fault("kill", at=5),)
+        assert not plan.is_empty()
+        assert FaultPlan().is_empty()
+
+    def test_replacement_incarnations_run_clean_by_default(self):
+        plan = FaultPlan({0: [Fault("kill", at=2)]})
+        assert plan.for_worker(0, incarnation=0) is not None
+        assert plan.for_worker(0, incarnation=1) is None
+
+    def test_all_incarnations_fault_persists(self):
+        plan = FaultPlan({0: [Fault("kill", at=2, all_incarnations=True)]})
+        assert plan.for_worker(0, incarnation=5) is not None
+
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(11, 8)
+        b = FaultPlan.random(11, 8)
+        assert a.fingerprint() == b.fingerprint()
+        assert FaultPlan.random(12, 8).fingerprint() != a.fingerprint()
+
+    def test_random_plan_respects_kinds_and_bounds(self):
+        plan = FaultPlan.random(5, 50, kinds=("slow",), rate=1.0, max_at=3)
+        assert plan.worker_indexes() == list(range(50))
+        for index in plan.worker_indexes():
+            for fault in plan.for_worker(index).faults:
+                assert fault.kind == "slow"
+                assert 0 <= fault.at <= 3
+                assert fault.seconds > 0
+
+    def test_random_plan_rejects_unknown_kind(self):
+        with pytest.raises(EvaluationError):
+            FaultPlan.random(0, 2, kinds=("meteor",))
+
+    def test_plan_pickles(self):
+        plan = FaultPlan({0: [Fault("ckpt_fail", at=1)]})
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fingerprint() == plan.fingerprint()
+
+
+class TestFaultInjector:
+    def test_slow_fires_once(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr("time.sleep", naps.append)
+        spec = FaultPlan({0: [Fault("slow", at=2, seconds=0.5)]}).for_worker(0)
+        injector = spec.injector()
+        injector.on_sample(0)
+        injector.on_sample(1)
+        assert naps == []
+        injector.on_sample(2)
+        assert naps == [0.5]
+        injector.on_sample(3)
+        assert naps == [0.5]  # fired exactly once
+        assert injector.fired == [Fault("slow", at=2, seconds=0.5)]
+
+    def test_missed_position_still_fires(self, monkeypatch):
+        # A fault scheduled inside a burn-in gap (no on_sample call at
+        # exactly `at`) fires at the next hook past it.
+        naps = []
+        monkeypatch.setattr("time.sleep", naps.append)
+        spec = FaultPlan({0: [Fault("slow", at=1, seconds=0.1)]}).for_worker(0)
+        injector = spec.injector()
+        injector.on_sample(4)
+        assert naps == [0.1]
+
+    def test_on_run_degrades_fatal_kinds_to_failure(self):
+        spec = FaultPlan(
+            {0: [Fault("kill", at=0), Fault("pipe_drop", at=0)]}
+        ).for_worker(0)
+        injector = spec.injector()
+        with pytest.raises(EvaluationError, match="injected worker fault"):
+            injector.on_run(0)
+        injector.on_run(1)  # both consumed by the first firing
+
+    def test_on_checkpoint_matches_exact_seq(self):
+        spec = FaultPlan({0: [Fault("ckpt_fail", at=2)]}).for_worker(0)
+        injector = spec.injector()
+        injector.on_checkpoint(1)
+        with pytest.raises(CheckpointError, match="seq 2"):
+            injector.on_checkpoint(2)
+        injector.on_checkpoint(2)  # fired once, next write succeeds
+
+    def test_kind_catalogue_is_stable(self):
+        assert FAULT_KINDS == ("kill", "pipe_drop", "slow", "ckpt_fail", "fail")

@@ -1,0 +1,52 @@
+"""HeartbeatMonitor: wedged-worker detection on a fake clock."""
+
+from repro.resilience import HeartbeatMonitor
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_never_beat_is_not_stale():
+    monitor = HeartbeatMonitor(clock=Clock())
+    assert monitor.age("w0") is None
+    assert not monitor.is_stale("w0", timeout=0.0)
+    assert monitor.stale_keys(0.0) == []
+
+
+def test_age_and_staleness():
+    clock = Clock()
+    monitor = HeartbeatMonitor(clock=clock)
+    monitor.beat("w0")
+    clock.now = 3.0
+    assert monitor.age("w0") == 3.0
+    assert not monitor.is_stale("w0", timeout=3.0)  # strictly greater
+    assert monitor.is_stale("w0", timeout=2.9)
+
+
+def test_beat_rearms():
+    clock = Clock()
+    monitor = HeartbeatMonitor(clock=clock)
+    monitor.beat("w0")
+    clock.now = 5.0
+    monitor.beat("w0")
+    clock.now = 6.0
+    assert monitor.age("w0") == 1.0
+    assert monitor.beats == 2
+
+
+def test_stale_keys_sorted_and_drop():
+    clock = Clock()
+    monitor = HeartbeatMonitor(clock=clock)
+    monitor.beat("w1")
+    monitor.beat("w0")
+    clock.now = 10.0
+    monitor.beat("w2")
+    assert monitor.stale_keys(5.0) == ["w0", "w1"]
+    monitor.drop("w0")
+    assert monitor.stale_keys(5.0) == ["w1"]
+    assert monitor.ages() == {"w1": 10.0, "w2": 0.0}

@@ -1,0 +1,143 @@
+"""RetryPolicy / with_retry: bounded, deadline-aware, seeded backoff."""
+
+import pytest
+
+from repro.errors import RetryExhaustedError
+from repro.resilience import RetryPolicy, with_retry
+from repro.rng import make_rng
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="ok", error=RuntimeError):
+        self.failures = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"boom #{self.calls}")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.35, jitter=0)
+        rng = make_rng(0)
+        delays = [policy.delay(n, rng) for n in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.35, 0.35]
+
+    def test_jitter_spread_is_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = make_rng(7)
+        for _ in range(100):
+            assert 0.5 <= policy.delay(1, rng) <= 1.5
+
+    def test_delay_sequence_is_seed_deterministic(self):
+        policy = RetryPolicy()
+        rng_a, rng_b = make_rng(3), make_rng(3)
+        first = [policy.delay(n, rng_a) for n in (1, 2, 3)]
+        second = [policy.delay(n, rng_b) for n in (1, 2, 3)]
+        assert first == second
+
+    def test_delay_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, make_rng(0))
+
+    def test_fingerprint_distinguishes_policies(self):
+        assert RetryPolicy().fingerprint() == RetryPolicy().fingerprint()
+        assert (
+            RetryPolicy(max_attempts=5).fingerprint()
+            != RetryPolicy().fingerprint()
+        )
+
+
+class TestWithRetry:
+    def test_success_after_failures(self):
+        slept = []
+        fn = Flaky(2)
+        result = with_retry(
+            fn,
+            RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0),
+            make_rng(0),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert fn.calls == 3
+        assert slept == [0.01, 0.02]
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        fn = Flaky(99)
+        with pytest.raises(RetryExhaustedError) as err:
+            with_retry(
+                fn,
+                RetryPolicy(max_attempts=3, base_delay=0, jitter=0),
+                make_rng(0),
+                sleep=lambda s: None,
+            )
+        assert err.value.attempts == 3
+        assert isinstance(err.value.__cause__, RuntimeError)
+        assert fn.calls == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        fn = Flaky(99, error=KeyError)
+        with pytest.raises(KeyError):
+            with_retry(
+                fn,
+                RetryPolicy(max_attempts=5),
+                make_rng(0),
+                retry_on=(RuntimeError,),
+                sleep=lambda s: None,
+            )
+        assert fn.calls == 1
+
+    def test_deadline_truncates_backoff_and_stops(self):
+        now = [0.0]
+        slept = []
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            slept.append(seconds)
+            now[0] += seconds
+
+        fn = Flaky(99)
+        with pytest.raises(RetryExhaustedError) as err:
+            with_retry(
+                fn,
+                RetryPolicy(max_attempts=10, base_delay=0.4, jitter=0),
+                make_rng(0),
+                deadline=1.0,
+                clock=clock,
+                sleep=sleep,
+            )
+        # Backoffs never sleep past the deadline; once past it, no
+        # further attempt starts.
+        assert sum(slept) <= 1.0
+        assert "deadline" in str(err.value)
+        assert err.value.attempts < 10
+
+    def test_on_retry_hook_observes_each_backoff(self):
+        seen = []
+        fn = Flaky(2)
+        with_retry(
+            fn,
+            RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0),
+            make_rng(0),
+            on_retry=lambda n, exc, pause: seen.append((n, str(exc), pause)),
+            sleep=lambda s: None,
+        )
+        assert [(n, p) for n, _, p in seen] == [(1, 0.01), (2, 0.02)]
+        assert "boom #1" in seen[0][1]

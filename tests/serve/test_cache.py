@@ -56,3 +56,39 @@ class TestLifecycle:
     def test_maxsize_validation(self):
         with pytest.raises(ValueError):
             MarginalCache(maxsize=0)
+
+
+class TestGetStale:
+    def test_newest_entry_at_or_below_version_wins(self):
+        cache = MarginalCache()
+        cache.put("q", 1, (("a",),), 10)
+        cache.put("q", 3, (("b",),), 10)
+        cache.put("q", 9, (("c",),), 10)  # future version for this read
+        stale = cache.get_stale("q", 5)
+        assert stale.version == 3 and stale.rows == (("b",),)
+
+    def test_max_lag_bounds_staleness(self):
+        cache = MarginalCache()
+        cache.put("q", 1, (("a",),), 10)
+        assert cache.get_stale("q", 5, max_lag=3) is None
+        assert cache.get_stale("q", 5, max_lag=4) is not None
+
+    def test_min_samples_filters_shallow_entries(self):
+        cache = MarginalCache()
+        cache.put("q", 2, (("a",),), 3)
+        assert cache.get_stale("q", 5, min_samples=10) is None
+        assert cache.get_stale("q", 5, min_samples=3) is not None
+
+    def test_other_fingerprints_never_match(self):
+        cache = MarginalCache()
+        cache.put("other", 1, (("a",),), 10)
+        assert cache.get_stale("q", 5) is None
+
+    def test_degraded_lookup_leaves_counters_untouched(self):
+        cache = MarginalCache()
+        cache.put("q", 1, (("a",),), 10)
+        before = cache.info()
+        cache.get_stale("q", 5)
+        cache.get_stale("missing", 5)
+        after = cache.info()
+        assert (after.hits, after.misses) == (before.hits, before.misses)

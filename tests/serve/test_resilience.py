@@ -1,0 +1,179 @@
+"""Serving-layer resilience: poisoned-worker eviction, circuit breaker,
+degraded (stale-bounded cached) serving, and pool heartbeats."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import EvaluationError, ServeOverloadError
+from repro.resilience import CircuitBreaker, Fault, FaultPlan
+from repro.serve import ReproServer
+
+from serve_support import QUERY, make_engine
+
+
+INSERT_TOKEN = (
+    "INSERT INTO TOKEN VALUES ({pk}, 0, 'Zanzibar{pk}', 'B-PER', 'B-PER')"
+)
+
+
+def make_server(**kwargs):
+    task, session = make_engine(
+        num_tokens=kwargs.pop("num_tokens", 60),
+        steps_per_sample=kwargs.pop("steps_per_sample", 5),
+    )
+    kwargs.setdefault("workers", 2)
+    return ReproServer(session, **kwargs)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestFaultedPool:
+    def test_injected_failure_evicts_and_replaces_worker(self):
+        async def main():
+            server = make_server(
+                workers=1,
+                fault_plan=FaultPlan({0: [Fault("fail", at=0)]}),
+            )
+            async with server:
+                client = server.session()
+                with pytest.raises(EvaluationError, match="injected"):
+                    await client.execute(QUERY, samples=3)
+                assert server.pool.evictions == 1
+                # The replacement worker (fresh index, clean plan)
+                # serves the retry.
+                result = await client.execute(QUERY, samples=3)
+                assert result.samples == 4
+                assert not result.degraded
+
+        asyncio.run(main())
+
+    def test_pool_heartbeats_track_live_workers(self):
+        async def main():
+            server = make_server(workers=2)
+            async with server:
+                client = server.session()
+                await client.execute(QUERY, samples=2)
+                beats = server.pool.stats()["heartbeats"]
+                assert set(beats) == {"worker-0", "worker-1"}
+                assert all(age >= 0 for age in beats.values())
+
+        asyncio.run(main())
+
+
+class TestDegradedServing:
+    def test_open_breaker_serves_stale_cached_marginals(self):
+        async def main():
+            breaker = CircuitBreaker(1, cooldown_s=1000.0, clock=Clock())
+            server = make_server(breaker=breaker, stale_max_lag=5)
+            async with server:
+                client = server.session()
+                healthy = await client.execute(QUERY, samples=3)
+                assert not healthy.degraded
+                # The world moves on (cache entry is now one version
+                # behind), then the probabilistic path trips.
+                await client.execute(INSERT_TOKEN.format(pk=9001))
+                breaker.record_failure()
+                assert breaker.state == "open"
+                degraded = await client.execute(QUERY, samples=3)
+                assert degraded.degraded
+                assert degraded.cached
+                assert degraded.rows == healthy.rows
+                assert degraded.db_version == healthy.db_version + 1
+                assert server.degraded_served == 1
+                assert client.counters.degraded == 1
+
+        asyncio.run(main())
+
+    def test_open_breaker_with_empty_cache_sheds_typed(self):
+        async def main():
+            breaker = CircuitBreaker(1, cooldown_s=1000.0, clock=Clock())
+            server = make_server(breaker=breaker)
+            async with server:
+                client = server.session()
+                breaker.record_failure()
+                with pytest.raises(ServeOverloadError) as err:
+                    await client.execute(QUERY, samples=3)
+                assert err.value.reason == "degraded"
+                assert server.shed_degraded == 1
+                assert client.counters.shed == 1
+
+        asyncio.run(main())
+
+    def test_worker_failures_feed_the_breaker(self):
+        async def main():
+            # Two scheduled failures on two workers; threshold 2 means
+            # the injected faults alone trip the breaker open.
+            server = make_server(
+                workers=2,
+                breaker=CircuitBreaker(2, cooldown_s=1000.0, clock=Clock()),
+                fault_plan=FaultPlan(
+                    {0: [Fault("fail", at=0)], 1: [Fault("fail", at=0)]}
+                ),
+            )
+            async with server:
+                client = server.session()
+                for _ in range(2):
+                    with pytest.raises(EvaluationError):
+                        await client.execute(QUERY, samples=3)
+                assert server.breaker.state == "open"
+                stats = server.stats()
+                assert stats["breaker"]["trips"] == 1
+                with pytest.raises(ServeOverloadError) as err:
+                    await client.execute(QUERY, samples=3)
+                assert err.value.reason == "degraded"
+
+        asyncio.run(main())
+
+    def test_probe_after_cooldown_recovers_service(self):
+        async def main():
+            clock = Clock()
+            breaker = CircuitBreaker(1, cooldown_s=10.0, clock=clock)
+            server = make_server(
+                workers=1,
+                breaker=breaker,
+                fault_plan=FaultPlan({0: [Fault("fail", at=0)]}),
+            )
+            async with server:
+                client = server.session()
+                with pytest.raises(EvaluationError):
+                    await client.execute(QUERY, samples=3)
+                assert breaker.state == "open"
+                clock.now = 10.0  # cooldown elapses -> half-open probe
+                result = await client.execute(QUERY, samples=3)
+                assert not result.degraded
+                assert breaker.state == "closed"
+
+        asyncio.run(main())
+
+
+class TestStaleWindow:
+    def test_commit_keeps_stale_window_for_degraded_mode(self):
+        async def main():
+            server = make_server(stale_max_lag=3)
+            async with server:
+                client = server.session()
+                await client.execute(QUERY, samples=3)
+                await client.execute(INSERT_TOKEN.format(pk=9002))
+                # Entry one version back survives the commit's eager
+                # invalidation (inside the lag window).
+                assert len(server.cache) == 1
+
+        asyncio.run(main())
+
+    def test_default_invalidation_stays_eager(self):
+        async def main():
+            server = make_server()
+            async with server:
+                client = server.session()
+                await client.execute(QUERY, samples=3)
+                await client.execute(INSERT_TOKEN.format(pk=9003))
+                assert len(server.cache) == 0
+
+        asyncio.run(main())
