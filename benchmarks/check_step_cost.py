@@ -1,13 +1,21 @@
 #!/usr/bin/env python
-"""CI gate for the §5.3 constant-step-cost claim.
+"""CI gate for the §5.3 constant-step-cost claim (vectorized hot path).
 
 Reads a pytest-benchmark JSON produced by::
 
     pytest benchmarks/bench_step_cost.py --benchmark-json=BENCH_step_cost.json
 
-and fails (exit 1) when the mean per-step time of the cached walk at
-the largest database size exceeds ``--max-ratio`` times the smallest
-size's — i.e. when walk-step cost has started scaling with the data.
+and fails (exit 1) when either
+
+* the mean per-step time of the *vectorized* walk at the largest
+  database size exceeds ``--max-ratio`` times the smallest size's —
+  i.e. walk-step cost has started scaling with the data; or
+* the in-bench vectorized-vs-dict comparison
+  (``test_step_cost_vectorized_vs_dict``) reports a speedup below
+  ``--min-speedup`` — i.e. the array path has regressed to the point
+  of not earning its complexity.  This gate is machine-relative (both
+  paths run on the same hardware in the same process), unlike the
+  absolute us/step reference points recorded in the JSON.
 """
 
 from __future__ import annotations
@@ -17,21 +25,38 @@ import json
 import sys
 from pathlib import Path
 
-# Single source of truth for the gate; bench_step_cost.py imports this
-# for its in-test assertion and CI uses the script's default, so one
-# edit moves every enforcement point.
-MAX_STEP_COST_RATIO = 3.0
+# Single source of truth for the gates; bench_step_cost.py imports
+# these for its in-test assertions and CI uses the script's defaults,
+# so one edit moves every enforcement point.  The ratio was 3.0 while
+# the dict path was the hot path; the steady-state vectorized walk
+# measures ~1.4x (2k -> 40k tokens), so 2.0 holds comfortable slack
+# without ever re-admitting size-proportional scoring.
+MAX_STEP_COST_RATIO = 2.0
+# Measured ~1.9-3x depending on blanket-cache hit rates; 1.5 is the
+# floor under which the array path is not earning its keep.
+MIN_VECTORIZED_SPEEDUP = 1.5
 
 
 def per_step_means(report: dict) -> dict[int, float]:
-    """tokens -> mean seconds per walk-step, cached series only."""
+    """tokens -> mean seconds per walk-step, vectorized series only."""
     out: dict[int, float] = {}
     for bench in report.get("benchmarks", []):
         info = bench.get("extra_info", {})
-        if bench.get("group") != "step-cost" or not info.get("cached"):
+        if bench.get("group") != "step-cost" or info.get("mode") != "vectorized":
             continue
         out[int(info["tokens"])] = bench["stats"]["mean"] / int(info["steps"])
     return out
+
+
+def vectorized_speedup(report: dict) -> float | None:
+    """The in-bench vectorized-vs-dict speedup, if recorded."""
+    for bench in report.get("benchmarks", []):
+        if bench.get("group") != "step-cost-vectorized":
+            continue
+        speedup = bench.get("extra_info", {}).get("speedup_vs_dict")
+        if speedup is not None:
+            return float(speedup)
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,17 +71,28 @@ def main(argv: list[str] | None = None) -> int:
             f"(default {MAX_STEP_COST_RATIO})"
         ),
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_VECTORIZED_SPEEDUP,
+        help=(
+            "smallest allowed vectorized-vs-dict speedup "
+            f"(default {MIN_VECTORIZED_SPEEDUP})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     report = json.loads(args.report.read_text(encoding="utf-8"))
     means = per_step_means(report)
     if len(means) < 2:
         print(
-            f"error: need cached step-cost series at >=2 sizes, found {sorted(means)}",
+            f"error: need vectorized step-cost series at >=2 sizes, "
+            f"found {sorted(means)}",
             file=sys.stderr,
         )
         return 2
 
+    failed = False
     small, large = min(means), max(means)
     ratio = means[large] / means[small]
     print(
@@ -70,8 +106,30 @@ def main(argv: list[str] | None = None) -> int:
             "(the §5.3 constant-step-cost claim is broken)",
             file=sys.stderr,
         )
+        failed = True
+
+    speedup = vectorized_speedup(report)
+    if speedup is None:
+        print(
+            "error: no vectorized-vs-dict speedup recorded "
+            "(test_step_cost_vectorized_vs_dict missing from the report)",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"vectorized-vs-dict speedup: {speedup:.2f}x "
+        f"(floor {args.min_speedup:.1f}x)"
+    )
+    if speedup < args.min_speedup:
+        print(
+            "FAIL: array-backed scoring no longer beats the dict path",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
         return 1
-    print("OK: walk-step cost is near-constant in database size")
+    print("OK: walk-step cost is near-constant and the array path holds its edge")
     return 0
 
 

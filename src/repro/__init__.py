@@ -38,7 +38,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.4.0"
+__version__ = "1.7.0"
 
 from repro.api import AnytimeCursor, Cursor, Session, connect
 from repro.db import AttrType, Database, Schema

@@ -18,6 +18,7 @@ from repro.fg.features import FeatureVector, accumulate, scale, subtract, unit
 from repro.fg.graph import FactorGraph, GraphRepair
 from repro.fg.relational import bind_field_variables, flush_all, reload_all
 from repro.fg.templates import PairwiseTemplate, Template, UnaryTemplate, dedup_factors
+from repro.fg.vectorized import LocalScorer, build_scorer
 from repro.fg.variables import (
     FieldVariable,
     HiddenVariable,
@@ -36,6 +37,7 @@ __all__ = [
     "FieldVariable",
     "GraphRepair",
     "HiddenVariable",
+    "LocalScorer",
     "LogLinearFactor",
     "ObservedVariable",
     "PairwiseTemplate",
@@ -46,6 +48,7 @@ __all__ = [
     "Weights",
     "accumulate",
     "bind_field_variables",
+    "build_scorer",
     "dedup_factors",
     "flush_all",
     "reload_all",

@@ -19,6 +19,17 @@ caches ``endpoint values -> score`` and invalidates the cache whenever
 that the factor's features depend only on its endpoints' values (plus
 per-factor constants such as an observed token string) — never on the
 values of variables outside the factor.
+
+Stable factors additionally carry an **array cache** for the vectorized
+scorer (:mod:`repro.fg.vectorized`): ``(signature, endpoint values) ->
+(weight slots, feature values)``, where the slots index the shared
+:meth:`repro.fg.weights.Weights.slot` map.  Unlike the score memo this
+cache is *weights-version independent* — slots are stable and only the
+dense weight values move — so SampleRank's mid-run updates never evict
+it.  The ``signature`` folds in every per-factor constant the features
+read (e.g. the observed token string), which lets templates share one
+array dict across all their factor instances: every "Rangoon" emission
+factor in the corpus hits the same entries.
 """
 
 from __future__ import annotations
@@ -86,10 +97,18 @@ class LogLinearFactor(Factor):
     (SampleRank updates, ``set``, ``load``) invalidates it on the next
     read.  Only enable for factors whose features are a pure function
     of their own endpoints' values (see module docstring).
+
+    ``arrays``/``signature`` attach the factor to an array cache for the
+    vectorized scorer: ``arrays`` maps ``(signature, *endpoint values)``
+    to precomputed ``(weight slots, feature values)`` tuples (shared
+    across a template's factors when a signature function is available,
+    private to this factor otherwise) and :meth:`build_array_entry`
+    fills it from the current assignment.  ``arrays=None`` (the default,
+    and the only valid choice for non-``stable`` factors) opts out.
     """
 
     __slots__ = ("weights", "_feature_fn", "stable", "_pass_variables",
-                 "_memo", "_memo_version")
+                 "_memo", "_memo_version", "arrays", "signature")
 
     def __init__(
         self,
@@ -99,6 +118,9 @@ class LogLinearFactor(Factor):
         feature_fn: Callable[..., FeatureVector],
         stable: bool = False,
         pass_variables: bool = False,
+        arrays: Dict[Tuple[Any, ...], Tuple[Tuple[int, ...], Tuple[float, ...]]]
+        | None = None,
+        signature: Hashable = None,
     ):
         super().__init__(template_name, variables)
         self.weights = weights
@@ -107,11 +129,31 @@ class LogLinearFactor(Factor):
         self._pass_variables = pass_variables
         self._memo: Dict[Tuple[Any, ...], float] | None = {} if stable else None
         self._memo_version = -1
+        self.arrays = arrays
+        self.signature = signature
 
     def features(self) -> FeatureVector:
         if self._pass_variables:
             return self._feature_fn(*self.variables)
         return self._feature_fn(*(v.value for v in self.variables))
+
+    def build_array_entry(self) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+        """``(weight slots, feature values)`` of the *current* assignment.
+
+        Slots come from the stable :meth:`Weights.slot` map (assigned on
+        demand, valid for the weights object's lifetime), in the feature
+        dict's insertion order — the same order :meth:`Weights.dot`
+        iterates, which keeps the scorer's term-by-term accumulation
+        bit-identical to the sparse path.
+        """
+        weights = self.weights
+        name = self.template_name
+        slots = []
+        values = []
+        for key, value in self.features().items():
+            slots.append(weights.slot(name, key))
+            values.append(value)
+        return tuple(slots), tuple(values)
 
     def score(self) -> float:
         memo = self._memo

@@ -19,6 +19,15 @@ disables both layers to recover the uncached reference behaviour
 code that mutates ``graph.templates`` in place after scoring has
 started must call :meth:`clear_caches` for the change to take effect.
 
+On top of the caches sits the **vectorized scoring layer**
+(:mod:`repro.fg.vectorized`): per-variable compiled scorers that turn a
+single-variable ``score_delta`` (and the Gibbs conditional, via
+:meth:`local_conditional_scores`) into array lookups over the dense
+weight vector, with :meth:`score_delta_batch` amortizing K independent
+what-ifs.  :meth:`set_vectorized` is the escape hatch restoring the
+dict path bit-identically; variables whose adjacency offers no purity
+contract fall back automatically.
+
 Graphs are also **mutable in place** (live updates, ISSUE 5):
 :meth:`add_variables` / :meth:`remove_variables` /
 :meth:`add_factors` / :meth:`remove_factors` apply incremental edits
@@ -53,6 +62,7 @@ from repro.errors import GraphError
 from repro.fg.factors import Factor
 from repro.fg.templates import Template, dedup_factors
 from repro.fg.variables import HiddenVariable
+from repro.fg.vectorized import LocalScorer, build_scorer
 
 __all__ = ["FactorGraph", "GraphRepair"]
 
@@ -123,6 +133,10 @@ class FactorGraph:
         # (the whole adjacency when the graph has no dynamic templates).
         self._flat_adjacency: Dict[Hashable, Tuple[Factor, ...]] = {}
         self._cache_enabled = True
+        # variable name -> compiled LocalScorer (None = the variable's
+        # adjacency is ineligible; score through the reference path).
+        self._scorers: Dict[Hashable, LocalScorer | None] = {}
+        self._vectorized = True
 
     # ------------------------------------------------------------------
     # Lookup
@@ -148,12 +162,30 @@ class FactorGraph:
         self._cache_enabled = bool(enabled)
         self._static_adjacency.clear()
         self._flat_adjacency.clear()
+        self._scorers.clear()
         for template in self.templates:
             template.set_caching(enabled)
 
     @property
     def caching_enabled(self) -> bool:
         return self._cache_enabled
+
+    def set_vectorized(self, enabled: bool) -> None:
+        """Toggle the array-backed scoring path (on by default).
+
+        ``set_vectorized(False)`` is the escape hatch restoring the
+        reference dict path **bit-identically**: the vectorized scorer
+        is built so both paths produce equal floats (see
+        :mod:`repro.fg.vectorized`), so flipping this changes
+        performance, never results.  Vectorization also requires
+        caching: ``set_caching(False)`` implies the reference path.
+        """
+        self._vectorized = bool(enabled)
+        self._scorers.clear()
+
+    @property
+    def vectorized_enabled(self) -> bool:
+        return self._vectorized
 
     def clear_caches(self) -> None:
         """Drop cached adjacency and pooled instances (rebuilt lazily).
@@ -166,6 +198,7 @@ class FactorGraph:
         instances built from the old templates."""
         self._static_adjacency.clear()
         self._flat_adjacency.clear()
+        self._scorers.clear()
         for template in self.templates:
             template.clear_cache()
 
@@ -196,6 +229,7 @@ class FactorGraph:
         for name in names:
             self._static_adjacency.pop(name, None)
             self._flat_adjacency.pop(name, None)
+            self._scorers.pop(name, None)
         if scan:
             stale = [
                 key
@@ -204,6 +238,13 @@ class FactorGraph:
             ]
             for key in stale:
                 del self._flat_adjacency[key]
+            stale = [
+                key
+                for key, scorer in self._scorers.items()
+                if scorer is not None and not scorer.names.isdisjoint(names)
+            ]
+            for key in stale:
+                del self._scorers[key]
             stale = [
                 key
                 for key, entry in self._static_adjacency.items()
@@ -488,13 +529,27 @@ class FactorGraph:
         neighbourhoods that include the touched variable's perspective
         on at least one side.
         """
-        touched = list(changes)
-        if not self.has_dynamic_templates and len(touched) == 1:
-            # Hot path: a single-variable proposal on a static graph.
-            # The flat cached adjacency needs no dict, no dedup and (in
-            # steady state) no allocation; summation order matches the
-            # generic path below so results stay bit-identical.
-            variable = touched[0]
+        if not self.has_dynamic_templates and len(changes) == 1:
+            # Hot path: a single-variable proposal on a static graph
+            # (no ``list(changes)`` materialization on this branch).
+            [variable] = changes
+            if self._vectorized and self._cache_enabled:
+                # Array path: compiled per-variable scorer (blanket
+                # score cache + shared feature arrays + dense weights);
+                # bit-identical to the loop below by construction.
+                scorers = self._scorers
+                name = variable.name
+                try:
+                    scorer = scorers[name]
+                except KeyError:
+                    scorer = build_scorer(variable, self.adjacent_static(variable))
+                    scorers[name] = scorer
+                if scorer is not None:
+                    return scorer.delta(changes[variable])
+            # Reference path: the flat cached adjacency needs no dict,
+            # no dedup and (in steady state) no allocation; summation
+            # order matches the generic path below so results stay
+            # bit-identical.
             factors = self.adjacent_static(variable)
             before = 0.0
             for factor in factors:
@@ -508,6 +563,7 @@ class FactorGraph:
             finally:
                 variable.set_value(saved_value)
             return after - before
+        touched = list(changes)
         before_factors = self.factors_touching(touched)
         before = sum(f.score() for f in before_factors.values())
         saved = {v: v.value for v in touched}
@@ -544,6 +600,69 @@ class FactorGraph:
             before += sum(f.score() for f in appeared if f.key in present)
         return after - before
 
+    def score_delta_batch(
+        self, proposals: Sequence[Dict[HiddenVariable, Any]]
+    ) -> List[float]:
+        """Score K independent what-if proposals against the *current*
+        world (each delta is relative to the live assignment, not to the
+        previous proposal in the batch).
+
+        On the vectorized path, proposals touching the same variable
+        amortize heavily: the "before" side is computed once per
+        Markov-blanket assignment and every candidate score lands in
+        the blanket cache, so K single-variable what-ifs cost one
+        adjacency walk plus K array lookups.  Multi-try MH kernels and
+        the Gibbs conditional both reduce to this access pattern.
+        """
+        return [self.score_delta(changes) for changes in proposals]
+
+    def local_conditional_scores(self, variable: HiddenVariable) -> List[float]:
+        """Unnormalized log-scores of ``variable``'s adjacent factors
+        for every value in its domain (the Gibbs conditional's
+        numerators), in domain order.  The live assignment is restored
+        before returning.
+
+        The vectorized path serves all values from the blanket score
+        cache; the fallback re-scores per candidate exactly as the
+        reference Gibbs implementation always has, so both paths are
+        bit-identical.
+        """
+        values = variable.domain.values
+        if (
+            not self.has_dynamic_templates
+            and self._vectorized
+            and self._cache_enabled
+        ):
+            scorers = self._scorers
+            name = variable.name
+            try:
+                scorer = scorers[name]
+            except KeyError:
+                scorer = build_scorer(variable, self.adjacent_static(variable))
+                scorers[name] = scorer
+            if scorer is not None:
+                return scorer.local_scores(list(values))
+        saved = variable.value
+        scores: List[float] = []
+        try:
+            if self.has_dynamic_templates:
+                # The adjacent factor set may change with the value:
+                # re-instantiate per candidate.
+                for value in values:
+                    variable.set_value(value)
+                    scores.append(self.local_score([variable]))
+            else:
+                # Static structure: fetch the (cached) adjacent factors
+                # once and rescore them per candidate value — after the
+                # first sweep every factor score is a memo lookup.
+                factors = self.adjacent_static(variable)
+                for value in values:
+                    variable.set_value(value)
+                    scores.append(sum(f.score() for f in factors))
+        finally:
+            variable.set_value(saved)
+        return scores
+
     # ------------------------------------------------------------------
     # Pickling (multiprocess chain backend)
     # ------------------------------------------------------------------
@@ -554,6 +673,7 @@ class FactorGraph:
         state = self.__dict__.copy()
         state["_static_adjacency"] = {}
         state["_flat_adjacency"] = {}
+        state["_scorers"] = {}
         return state
 
     # ------------------------------------------------------------------

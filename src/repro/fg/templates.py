@@ -57,6 +57,19 @@ class Template:
     for static templates and ``False`` for dynamic ones; model authors
     whose *static* template features read global state must pass
     ``stable_features=False`` explicitly.
+
+    The generic templates additionally accept a ``signature_fn``
+    strengthening that contract for the vectorized scorer: it maps a
+    factor's endpoints to a hashable **signature** capturing *every*
+    per-factor constant the features read, so that features are a pure
+    function of ``(signature, endpoint values)``.  Factors with equal
+    signatures then share precomputed feature arrays template-wide —
+    e.g. one NER emission entry per ``(string, label)`` instead of one
+    per (token, label) — which is where most of the vectorized path's
+    speedup comes from.  Without a ``signature_fn``, stable factors
+    still get arrays, but private ones (no cross-factor sharing, and
+    they are evicted together with the pooled instance, so live repair
+    that changes a variable's observation stays correct for free).
     """
 
     def __init__(
@@ -128,16 +141,25 @@ class UnaryTemplate(Template):
         weights: Weights,
         feature_fn: Callable[[HiddenVariable], FeatureVector],
         stable_features: bool | None = None,
+        signature_fn: Callable[[HiddenVariable], Hashable] | None = None,
     ):
         super().__init__(name, dynamic=False, stable_features=stable_features)
         self.weights = weights
         self._feature_fn = feature_fn
+        self._signature_fn = signature_fn
         self._pool: Dict[Hashable, Factor] = {}
+        # Shared (signature, value) -> (slots, feature values) arrays;
+        # only used when a signature_fn makes cross-factor sharing safe.
+        self._arrays: Dict[Any, Any] = {}
 
     def clear_cache(self) -> None:
         self._pool.clear()
+        self._arrays.clear()
 
     def invalidate(self, names: Iterable[Hashable], scan: bool = True) -> None:
+        # Shared arrays survive: entries are pure functions of
+        # (signature, value), and a variable whose observation changed
+        # re-derives its signature when its factor is re-instantiated.
         for name in names:
             self._pool.pop(name, None)
 
@@ -151,6 +173,15 @@ class UnaryTemplate(Template):
         return (factor,)
 
     def _instantiate(self, variable: HiddenVariable, stable: bool) -> Factor:
+        arrays = None
+        signature: Hashable = None
+        if stable:
+            fn = self._signature_fn
+            if fn is not None:
+                arrays = self._arrays
+                signature = fn(variable)
+            else:
+                arrays = {}  # Private to this factor (no sharing contract).
         return LogLinearFactor(
             self.name,
             (variable,),
@@ -158,13 +189,17 @@ class UnaryTemplate(Template):
             self._feature_fn,
             stable=stable,
             pass_variables=True,
+            arrays=arrays,
+            signature=signature,
         )
 
     def __getstate__(self) -> Dict[str, Any]:
         # Pools rebuild lazily; dropping them keeps chain snapshots for
-        # the multiprocess backend lean (and closure-free).
+        # the multiprocess backend lean (and closure-free).  Arrays hold
+        # weight slots, which are per-process derived state.
         state = self.__dict__.copy()
         state["_pool"] = {}
+        state["_arrays"] = {}
         return state
 
 
@@ -191,19 +226,25 @@ class PairwiseTemplate(Template):
         feature_fn: Callable[[Variable, Variable], FeatureVector],
         dynamic: bool = False,
         stable_features: bool | None = None,
+        signature_fn: Callable[[Variable, Variable], Hashable] | None = None,
     ):
         super().__init__(name, dynamic=dynamic, stable_features=stable_features)
         self.weights = weights
         self._neighbors_fn = neighbors_fn
         self._feature_fn = feature_fn
+        self._signature_fn = signature_fn
         self._pool: Dict[Hashable, Factor] = {}
         self._adjacent: Dict[Hashable, Tuple[Factor, ...]] = {}
         self._order_keys: Dict[Hashable, str] = {}
+        # Shared (signature, value_a, value_b) -> (slots, values) arrays
+        # (signature_fn receives the canonically ordered endpoints).
+        self._arrays: Dict[Any, Any] = {}
 
     def clear_cache(self) -> None:
         self._pool.clear()
         self._adjacent.clear()
         self._order_keys.clear()
+        self._arrays.clear()
 
     def evict_pair(self, a: Hashable, b: Hashable) -> None:
         """Drop the pooled instance for one endpoint pair (either
@@ -255,6 +296,7 @@ class PairwiseTemplate(Template):
         pool = self._pool
         weights = self.weights
         feature_fn = self._feature_fn
+        signature_fn = self._signature_fn
         out: List[Factor] = []
         for other in self._neighbors_fn(variable):
             first, second = self._ordered(variable, other)
@@ -265,6 +307,16 @@ class PairwiseTemplate(Template):
                     factor = LogLinearFactor(
                         self.name, (first, second), weights, feature_fn,
                         stable=stable, pass_variables=True,
+                        arrays=(
+                            None if not stable
+                            else self._arrays if signature_fn is not None
+                            else {}
+                        ),
+                        signature=(
+                            signature_fn(first, second)
+                            if stable and signature_fn is not None
+                            else None
+                        ),
                     )
                     pool[key] = factor
             else:
@@ -290,4 +342,5 @@ class PairwiseTemplate(Template):
         state["_pool"] = {}
         state["_adjacent"] = {}
         state["_order_keys"] = {}
+        state["_arrays"] = {}
         return state

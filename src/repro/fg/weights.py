@@ -6,11 +6,43 @@ Scoring is a sparse dot product; learning (SampleRank) applies sparse
 additive updates.  Keeping all templates' weights in one object makes
 saving/loading and L2 norms trivial.
 
-Every mutation bumps a monotonic :attr:`Weights.version` counter.
-Memoized factor scores (:class:`repro.fg.factors.LogLinearFactor` with
-``stable=True``) are keyed against this counter, so SampleRank's
-mid-inference weight updates transparently invalidate every cached
-score without any registry of dependent factors.
+Every *effective* mutation — one that changes the stored mapping — bumps
+a monotonic :attr:`Weights.version` counter.  Memoized factor scores
+(:class:`repro.fg.factors.LogLinearFactor` with ``stable=True``) and the
+vectorized local scorers (:mod:`repro.fg.vectorized`) are keyed against
+this counter, so SampleRank's mid-inference weight updates transparently
+invalidate every cached score without any registry of dependent factors.
+A no-op ``set`` (writing the value already stored) deliberately does
+*not* bump the version: it cannot change any score, and bumping would
+evict every memo graph-wide for nothing.
+
+Parameters driven exactly to ``0.0`` are **kept** as explicit zeros.
+Earlier revisions popped them, which silently shrank the parameter
+universe whenever SampleRank crossed a weight through zero: ``items``/
+``num_parameters``/``save`` lost features, a mid-training save→load
+round-trip was not the identity, and any dense feature→index assignment
+built on the dict would have had its slots yanked out from under it.
+
+Array-backed scoring support
+----------------------------
+
+On top of the sparse dict (the single source of truth, and the only
+state that pickles/saves), a :class:`Weights` maintains:
+
+* a **stable feature→slot index** (:meth:`slot`): slots are assigned on
+  first demand, append-only, and never reassigned — a weight crossing
+  through zero, being overwritten, or being loaded keeps its slot for
+  the object's lifetime;
+* an incrementally maintained **dense value list** (``_dense``, one
+  float per assigned slot), which the vectorized scorer reads by plain
+  list indexing — bit-identical to the sparse path because a factor's
+  dot product is accumulated term-by-term in the same feature order
+  either way;
+* a lazily rebuilt read-only numpy view (:meth:`dense`) for batch
+  consumers.
+
+The derived state is dropped on pickling and rebuilt on demand; two
+unpickled copies of the same object assign slots independently.
 """
 
 from __future__ import annotations
@@ -18,7 +50,10 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Any, Dict, Hashable, ItemsView, Tuple
+from typing import Any, Dict, Hashable, ItemsView, List, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
 
 from repro.fg.features import FeatureVector
 
@@ -26,32 +61,53 @@ __all__ = ["Weights"]
 
 Key = Tuple[str, Hashable]
 
+#: Sentinel distinguishing "absent" from any stored float.
+_MISSING = object()
+
 
 class Weights:
     """Sparse parameter vector shared by all templates of a model."""
 
-    __slots__ = ("_values", "_version")
+    __slots__ = ("_values", "_version", "_slots", "_dense", "_dense_array")
 
     def __init__(self) -> None:
         self._values: Dict[Key, float] = {}
         self._version: int = 0
+        # feature key -> dense slot, append-only (see module docstring).
+        self._slots: Dict[Key, int] = {}
+        # slot -> current value (0.0 for features with no stored weight).
+        self._dense: List[float] = []
+        self._dense_array: NDArray[np.float64] | None = None
 
     # ------------------------------------------------------------------
     @property
     def version(self) -> int:
         """Monotonic mutation counter; memoized factor scores cached
-        under an older version are stale."""
+        under an older version are stale.  Bumped only by mutations that
+        actually change a stored value."""
         return self._version
 
     def get(self, template: str, feature: Hashable) -> float:
         return self._values.get((template, feature), 0.0)
 
     def set(self, template: str, feature: Hashable, value: float) -> None:
+        """Store ``theta[template, feature] = value``.
+
+        Keeps explicit zeros (an entry set to ``0.0`` stays a
+        parameter), and a no-op write — storing the value the entry
+        already holds — bumps nothing: it cannot change any score, so
+        cached scores stay valid.  Creating a brand-new entry (even at
+        ``0.0``) changes the mapping and therefore bumps the version.
+        """
+        key = (template, feature)
+        if self._values.get(key, _MISSING) == value:
+            return  # No-op write: nothing stored changes, keep memos.
         self._version += 1
-        if value == 0.0:
-            self._values.pop((template, feature), None)
-        else:
-            self._values[(template, feature)] = value
+        self._values[key] = value
+        slot = self._slots.get(key)
+        if slot is not None:
+            self._dense[slot] = value
+            self._dense_array = None
 
     def dot(self, template: str, features: FeatureVector) -> float:
         """``theta_template · phi`` for a sparse feature vector."""
@@ -72,6 +128,44 @@ class Weights:
             self.set(template, key, self.get(template, key) + step * value)
 
     # ------------------------------------------------------------------
+    # Dense view (array-backed scoring)
+    # ------------------------------------------------------------------
+    def slot(self, template: str, feature: Hashable) -> int:
+        """Stable dense index of ``(template, feature)``.
+
+        Assigned on first demand and never reassigned; the feature need
+        not have a stored weight (its dense value is then 0.0).  The
+        vectorized scorer bakes slots into per-factor arrays, which stay
+        valid across every weight mutation — only values move.
+        """
+        key = (template, feature)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = len(self._dense)
+            self._slots[key] = slot
+            self._dense.append(self._values.get(key, 0.0))
+            self._dense_array = None
+        return slot
+
+    def num_slots(self) -> int:
+        """Number of dense slots assigned so far."""
+        return len(self._dense)
+
+    def dense(self) -> NDArray[np.float64]:
+        """Read-only numpy view of the dense value list, in slot order.
+
+        Rebuilt lazily after mutations; batch consumers
+        (``score_delta_batch``, analysis tooling) should not mutate it —
+        the sparse dict is the source of truth.
+        """
+        array = self._dense_array
+        if array is None or array.shape[0] != len(self._dense):
+            array = np.asarray(self._dense, dtype=np.float64)
+            array.setflags(write=False)
+            self._dense_array = array
+        return array
+
+    # ------------------------------------------------------------------
     def num_parameters(self) -> int:
         return len(self._values)
 
@@ -88,6 +182,21 @@ class Weights:
         return self._values.items()
 
     # ------------------------------------------------------------------
+    # Pickling (multiprocess chain backend): only the sparse dict and
+    # the version travel; slot assignments and the dense list are
+    # derived state, rebuilt on demand in the receiving process.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"_values": self._values, "_version": self._version}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._values = state["_values"]
+        self._version = state["_version"]
+        self._slots = {}
+        self._dense = []
+        self._dense_array = None
+
+    # ------------------------------------------------------------------
     # Persistence (feature keys must be JSON-representable; tuple keys
     # are stored as JSON arrays and restored as tuples).
     # ------------------------------------------------------------------
@@ -100,9 +209,18 @@ class Weights:
 
     @classmethod
     def load(cls, path: str | Path) -> "Weights":
+        """Exact inverse of :meth:`save`.
+
+        Constructs the mapping directly instead of replaying
+        :meth:`set` per record, so a freshly loaded object reports
+        ``version == 0`` (it has seen no mutations) and explicit zeros
+        survive the round trip.
+        """
         out = cls()
-        for record in json.loads(Path(path).read_text(encoding="utf-8")):
-            out.set(record["template"], _decode(record["feature"]), record["value"])
+        out._values = {
+            (record["template"], _decode(record["feature"])): record["value"]
+            for record in json.loads(Path(path).read_text(encoding="utf-8"))
+        }
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

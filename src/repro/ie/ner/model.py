@@ -170,8 +170,18 @@ class SkipChainNerModel:
             ("cap", string[:1].isupper(), label): 1.0,
         }
 
+    def _emission_signature(self, variable: HiddenVariable):
+        # Emission features are a pure function of (string, label): the
+        # cap feature derives from the string.  Every same-string token
+        # in the corpus therefore shares one feature-array entry per
+        # label — the vocabulary bounds the cache, not the corpus.
+        return self._strings[variable.name]
+
     def _bias_features(self, variable: HiddenVariable):
         return {("bias", variable.value): 1.0}
+
+    def _bias_signature(self, variable: HiddenVariable):
+        return None  # Pure function of the label alone: 9 entries total.
 
     def _chain_neighbors(self, variable: HiddenVariable):
         prev = self._prev.get(variable.name)
@@ -188,6 +198,11 @@ class SkipChainNerModel:
             return {("trans", a.value, b.value): 1.0}
         return {("trans", b.value, a.value): 1.0}
 
+    def _transition_signature(self, a: HiddenVariable, b: HiddenVariable):
+        # The only per-factor constant the features read is whether the
+        # canonical endpoint order matches document order.
+        return self._positions[a.name] < self._positions[b.name]
+
     def _skip_neighbors(self, variable: HiddenVariable):
         return self._skip.get(variable.name, ())
 
@@ -196,22 +211,31 @@ class SkipChainNerModel:
             return {("skip", "same"): 1.0}
         return {("skip", "diff"): 1.0}
 
+    def _skip_signature(self, a: HiddenVariable, b: HiddenVariable):
+        return None  # Pure function of label equality: 2 entries total.
+
     def _build_templates(self):
         # All four templates are static (the factor set is fixed by the
         # corpus) and their features read only the endpoints' label
         # values plus per-token constants, so stable_features=True lets
         # every factor memoize (label values) -> score across the walk.
+        # Signature functions declare the per-factor constants each
+        # feature function reads, unlocking template-wide sharing of
+        # the vectorized scorer's feature arrays (bound methods, like
+        # the feature functions, so everything still pickles).
         self._transition_template = PairwiseTemplate(
             TRANSITION, self.weights, self._chain_neighbors,
             self._transition_features, stable_features=True,
+            signature_fn=self._transition_signature,
         )
         templates = [
             UnaryTemplate(
                 EMISSION, self.weights, self._emission_features,
-                stable_features=True,
+                stable_features=True, signature_fn=self._emission_signature,
             ),
             UnaryTemplate(
-                BIAS, self.weights, self._bias_features, stable_features=True
+                BIAS, self.weights, self._bias_features, stable_features=True,
+                signature_fn=self._bias_signature,
             ),
             self._transition_template,
         ]
@@ -220,6 +244,7 @@ class SkipChainNerModel:
             self._skip_template = PairwiseTemplate(
                 SKIP, self.weights, self._skip_neighbors,
                 self._skip_features, stable_features=True,
+                signature_fn=self._skip_signature,
             )
             templates.append(self._skip_template)
         return templates

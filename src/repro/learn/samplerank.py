@@ -117,27 +117,44 @@ class SampleRankTrainer:
                 variable.set_value(value)
             features_after = self._collect_features(touched)
             score_after = self.graph.local_score(touched)
-        else:
-            # Static structure: one (cached) adjacency fetch serves both
-            # worlds' features and scores.
-            if len(touched) == 1:
-                factors = self.graph.adjacent_static(touched[0])
-            else:
-                factors = list(self.graph.factors_touching(touched).values())
-            features_before = self._collect_from(factors)
-            score_before = sum(f.score() for f in factors)
-            saved = {variable: variable.value for variable in touched}
-            for variable, value in changes.items():
-                variable.set_value(value)
-            features_after = self._collect_from(factors)
-            score_after = sum(f.score() for f in factors)
-        model_delta = score_after - score_before
+            model_delta = score_after - score_before
 
-        # Perceptron update toward the objective-preferred world.
-        if objective_delta > 0 and model_delta <= self.margin:
-            self._update(features_after, features_before)
-        elif objective_delta < 0 and -model_delta <= self.margin:
-            self._update(features_before, features_after)
+            # Perceptron update toward the objective-preferred world.
+            if objective_delta > 0 and model_delta <= self.margin:
+                self._update(features_after, features_before)
+            elif objective_delta < 0 and -model_delta <= self.margin:
+                self._update(features_before, features_after)
+        else:
+            # Static structure: score the two worlds first — a pure
+            # what-if through the graph's vectorized hot path — and
+            # collect sufficient statistics only when the ranking
+            # disagreement actually fires an update.  Most steps agree,
+            # so the feature-dict work disappears from the walk; the
+            # update math sees exactly the dicts the eager path built.
+            model_delta = self.graph.score_delta(changes)
+            update = 0
+            if objective_delta > 0 and model_delta <= self.margin:
+                update = 1  # Toward the proposed world.
+            elif objective_delta < 0 and -model_delta <= self.margin:
+                update = -1  # Toward the current world.
+            if update:
+                if len(touched) == 1:
+                    factors = self.graph.adjacent_static(touched[0])
+                else:
+                    factors = list(self.graph.factors_touching(touched).values())
+                features_before = self._collect_from(factors)
+                saved = {variable: variable.value for variable in touched}
+                for variable, value in changes.items():
+                    variable.set_value(value)
+                features_after = self._collect_from(factors)
+                if update > 0:
+                    self._update(features_after, features_before)
+                else:
+                    self._update(features_before, features_after)
+            else:
+                saved = {variable: variable.value for variable in touched}
+                for variable, value in changes.items():
+                    variable.set_value(value)
 
         if self._accept(model_delta, objective_delta):
             self.stats.accepted += 1

@@ -44,27 +44,16 @@ class GibbsSampler:
 
     def conditional(self, variable: HiddenVariable) -> List[float]:
         """The exact conditional distribution of ``variable`` given the
-        rest, in domain order."""
-        saved = variable.value
-        scores: List[float] = []
-        graph = self.graph
-        try:
-            if graph.has_dynamic_templates:
-                # The adjacent factor set may change with the value:
-                # re-instantiate per candidate.
-                for value in variable.domain:
-                    variable.set_value(value)
-                    scores.append(graph.local_score([variable]))
-            else:
-                # Static structure: fetch the (cached) adjacent factors
-                # once and rescore them per candidate value — after the
-                # first sweep every factor score is a memo lookup.
-                factors = graph.adjacent_static(variable)
-                for value in variable.domain:
-                    variable.set_value(value)
-                    scores.append(sum(f.score() for f in factors))
-        finally:
-            variable.set_value(saved)
+        rest, in domain order.
+
+        Scoring goes through
+        :meth:`repro.fg.graph.FactorGraph.local_conditional_scores`, so
+        static graphs get the vectorized blanket-cached path (all K
+        candidate values amortize one adjacency walk) while dynamic
+        graphs re-instantiate per candidate exactly as before — the
+        score lists are bit-identical either way.
+        """
+        scores = self.graph.local_conditional_scores(variable)
         peak = max(scores)
         if peak == float("-inf"):
             raise InferenceError(

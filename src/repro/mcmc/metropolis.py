@@ -34,9 +34,9 @@ from repro.rng import make_rng
 __all__ = ["StepResult", "MHStatistics", "MetropolisHastings"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
-    """Outcome of one MH step."""
+    """Outcome of one MH step (slotted: allocated every step)."""
 
     accepted: bool
     log_acceptance: float
@@ -116,16 +116,28 @@ class MetropolisHastings:
     def step(self) -> StepResult:
         """Execute one propose/accept/reject cycle."""
         proposal = self.proposer.propose(self.rng)
-        self.stats.proposals += 1
-        changes = {
-            variable: value
-            for variable, value in proposal.changes.items()
-            if variable.value != value
-        }
+        stats = self.stats
+        stats.proposals += 1
+        changes = proposal.changes
+        if len(changes) == 1:
+            # Single-variable proposal (the overwhelmingly common case):
+            # skip the filtering dict build entirely.  ``_value`` is the
+            # storage behind the ``value`` property on every variable
+            # kind; reading it directly skips one descriptor hop per
+            # step.
+            [(variable, value)] = changes.items()
+            if variable._value == value:
+                changes = {}
+        else:
+            changes = {
+                variable: value
+                for variable, value in changes.items()
+                if variable._value != value
+            }
         if not changes:
             # Self-transition: always accepted, nothing to write.
-            self.stats.accepted += 1
-            self.stats.noops += 1
+            stats.accepted += 1
+            stats.noops += 1
             return StepResult(True, 0.0, {})
 
         # Score through the graph's what-if machinery: static models
@@ -138,7 +150,7 @@ class MetropolisHastings:
         accepted = log_alpha >= 0 or math.log(self.rng.random()) < log_alpha
 
         if accepted:
-            self.stats.accepted += 1
+            stats.accepted += 1
             for variable, value in changes.items():
                 variable.set_value(value)
                 if isinstance(variable, FieldVariable):

@@ -197,12 +197,17 @@ class TestWeightsVersion:
         weights.update("t", {"a": 1.0, "b": 2.0}, 0.5)
         assert v0 < v1 < weights.version
 
-    def test_load_produces_nonzero_version(self, tmp_path):
+    def test_load_produces_fresh_version(self, tmp_path):
+        # load() constructs the mapping directly rather than replaying
+        # set() calls, so a freshly loaded vector starts at version 0 —
+        # load is the exact inverse of save, not a mutation history.
         weights = Weights()
         weights.set("t", "a", 1.0)
         path = tmp_path / "w.json"
         weights.save(path)
-        assert Weights.load(path).version > 0
+        loaded = Weights.load(path)
+        assert loaded.version == 0
+        assert loaded.get("t", "a") == 1.0
 
     def test_copy_preserves_version(self):
         weights = Weights()

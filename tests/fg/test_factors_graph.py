@@ -59,11 +59,15 @@ class TestWeights:
         assert w.dot("t", {"a": 2.0}) == pytest.approx(1.0)
         assert w.get("t", "b") == pytest.approx(1.0)
 
-    def test_zero_removed(self):
+    def test_zero_kept_explicitly(self):
+        # Writing 0.0 keeps the entry: the feature was observed and its
+        # slot in the dense view must stay stable (a later update may
+        # cross back through zero).
         w = Weights()
         w.set("t", "a", 1.0)
         w.set("t", "a", 0.0)
-        assert w.num_parameters() == 0
+        assert w.num_parameters() == 1
+        assert w.get("t", "a") == 0.0
 
     def test_l2_norm(self):
         w = Weights()

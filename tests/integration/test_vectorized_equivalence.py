@@ -1,0 +1,148 @@
+"""Vectorized scoring must be bit-identical to the dict path (ISSUE 9).
+
+Mirror of ``test_cache_equivalence.py`` one layer up: each test runs the
+same seeded inference twice — once with the array-backed local scorers
+enabled (the default) and once through the ``set_vectorized(False)``
+escape hatch — and asserts *exactly* equal results.  The vectorized
+path re-associates no sums and draws nothing from the RNG, so any
+divergence (a wrong slot, a stale blanket cache, an extra rounding
+step) fails these tests under ``==``, not ``approx``.
+
+SampleRank is the adversarial case: it mutates the weights mid-walk, so
+a scorer holding on to stale dense values would silently corrupt the
+update sequence.  Coref exercises the dynamic-template fallback (no
+scorer is ever built there; the toggle must still be a no-op).
+"""
+
+from repro.bench import make_task
+from repro.ie.coref import (
+    CorefModel,
+    MoveMentionProposer,
+    SplitMergeProposer,
+    build_mention_database,
+    generate_mentions,
+)
+from repro.learn.objective import HammingObjective
+from repro.learn.samplerank import SampleRankTrainer
+from repro.mcmc import GibbsSampler, MetropolisHastings
+from repro.mcmc.proposal import UniformLabelProposer
+
+QUERY = "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'"
+
+
+def _ner_run(vectorized: bool):
+    task = make_task(600, steps_per_sample=150)
+    instance = task.make_instance(7)
+    instance.kernel.graph.set_vectorized(vectorized)
+    evaluator = instance.evaluator([QUERY])
+    evaluator.run(10)
+    world = tuple(v.value for v in instance.model.variables)
+    return (
+        world,
+        instance.kernel.stats.accepted,
+        evaluator.estimators[0].probabilities(),
+    )
+
+
+class TestNerMetropolis:
+    def test_marginals_bit_identical(self):
+        vec_world, vec_accepted, vec_marginals = _ner_run(True)
+        world, accepted, marginals = _ner_run(False)
+        assert vec_world == world
+        assert vec_accepted == accepted
+        assert vec_marginals == marginals
+
+
+class TestCorefDynamicTemplates:
+    """Dynamic templates never vectorize; the toggle must change nothing."""
+
+    def _run(self, proposer_cls, vectorized: bool):
+        db = build_mention_database(
+            generate_mentions(6, mentions_per_entity=3, seed=4)
+        )
+        model = CorefModel(db)
+        model.graph.set_vectorized(vectorized)
+        kernel = MetropolisHastings(
+            model.graph, proposer_cls(model.variables), seed=11
+        )
+        kernel.run(2500)
+        return tuple(v.value for v in model.variables), kernel.stats.accepted
+
+    def test_move_mention_bit_identical(self):
+        assert self._run(MoveMentionProposer, True) == self._run(
+            MoveMentionProposer, False
+        )
+
+    def test_split_merge_bit_identical(self):
+        assert self._run(SplitMergeProposer, True) == self._run(
+            SplitMergeProposer, False
+        )
+
+
+class TestGibbs:
+    def test_trajectory_bit_identical(self):
+        worlds = []
+        for vectorized in (True, False):
+            task = make_task(400, steps_per_sample=100)
+            instance = task.make_instance(3)
+            instance.kernel.graph.set_vectorized(vectorized)
+            sampler = GibbsSampler(instance.model.graph, seed=5)
+            sampler.run(1200)
+            worlds.append(tuple(v.value for v in instance.model.variables))
+        assert worlds[0] == worlds[1]
+
+
+class TestSampleRankMidRunUpdates:
+    """Weight mutations mid-walk must invalidate the scorers' blanket
+    caches through ``Weights.version``: a stale cached score would
+    change an update decision, and the weight trajectories would
+    diverge from the dict reference."""
+
+    def _train(self, vectorized: bool):
+        task = make_task(500, steps_per_sample=100, weight_mode="zero")
+        instance = task.make_instance(2)
+        weights = instance.model.weights
+        instance.model.graph.set_vectorized(vectorized)
+        trainer = SampleRankTrainer(
+            instance.model.graph,
+            UniformLabelProposer(instance.model.variables),
+            HammingObjective(instance.model.truth),
+            weights,
+            seed=9,
+        )
+        stats = trainer.train(3000)
+        return (
+            stats.updates,
+            stats.accepted,
+            weights.l2_norm(),
+            sorted(weights.items(), key=repr),
+            instance.model.accuracy_against_truth(),
+        )
+
+    def test_training_bit_identical(self):
+        assert self._train(True) == self._train(False)
+
+
+class TestCrossToggleWithCaching:
+    """All four cache-layer combinations agree: (vectorized, caching)
+    in {on,off}² — the escape hatches compose."""
+
+    def _run(self, vectorized: bool, cached: bool):
+        task = make_task(400, steps_per_sample=100)
+        instance = task.make_instance(5)
+        instance.kernel.graph.set_caching(cached)
+        instance.kernel.graph.set_vectorized(vectorized)
+        instance.kernel.run(1500)
+        return (
+            tuple(v.value for v in instance.model.variables),
+            instance.kernel.stats.accepted,
+        )
+
+    def test_all_combinations_agree(self):
+        results = {
+            (vec, cached): self._run(vec, cached)
+            for vec in (True, False)
+            for cached in (True, False)
+        }
+        reference = results[(False, False)]
+        assert all(result == reference for result in results.values())
