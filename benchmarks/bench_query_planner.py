@@ -1,0 +1,173 @@
+"""Query-planner benchmark: selective queries via factor-graph pruning
+(ISSUE 10 acceptance).
+
+The workload is the paper's 40k-token NER model.  The query carries a
+selective *deterministic* predicate (``DOC_ID = 0`` — one document out
+of ~300): the planner proves that only document 0's factor-closed group
+can contribute answer rows, so the session samples a restricted chain
+over that group alone (``MixtureProposer`` with ``focus=1.0``) with a
+proportionally shrunk thinning interval, while the unoptimized run
+drives the full chain over every variable.
+
+Two series are timed on fresh same-seed instances::
+
+    optimized    session.execute(Q, samples=N)                 # planner on
+    unoptimized  session.execute(Q, samples=N, optimize=False) # escape hatch
+
+The speedup gate lives in benchmarks/check_query_planner.py
+(MIN_PLANNER_SPEEDUP); CI reruns this bench and fails below it.
+
+Admissibility evidence recorded in the same report:
+
+* ``bit_identical`` — on a query whose predicate touches only
+  *uncertain* columns no restriction can fire, so the optimized run
+  must reproduce the unoptimized marginals **bit for bit** under the
+  same seeds (asserted in-bench);
+* frozen-group exactness — after the optimized selective run, every
+  variable outside document 0 still holds its initial value (the
+  restriction provably never moves what cannot change the answer);
+* ``mean_marginal_diff`` — pruned vs full marginals on the selective
+  query agree within MCMC noise (the two are different, equally valid,
+  samplers of the same posterior).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.bench import make_task, scale_factor
+
+from check_query_planner import MAX_MEAN_MARGINAL_DIFF, MIN_PLANNER_SPEEDUP
+
+TOKENS = 40_000
+STEPS_PER_SAMPLE = 500
+SAMPLES = 80
+BURN_IN = 0
+
+SELECTIVE_QUERY = "SELECT STRING, LABEL FROM TOKEN WHERE DOC_ID = 0"
+UNCERTAIN_QUERY = "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'"
+
+BIT_IDENTITY_TOKENS = 2_000
+BIT_IDENTITY_SAMPLES = 8
+
+
+def _session(num_tokens: int, chain_seed: int = 1):
+    task = make_task(num_tokens, steps_per_sample=STEPS_PER_SAMPLE)
+    instance = task.make_instance(chain_seed)
+    return connect(instance.db).attach_model(instance), instance
+
+
+def _marginals(cursor):
+    return sorted(tuple(r) for r in cursor)
+
+
+@pytest.mark.benchmark(group="query-planner")
+def test_selective_query_planner_speedup(benchmark):
+    """Optimized vs unoptimized wall time for the selective query, with
+    the admissibility assertions run in the same process."""
+    tokens = TOKENS * scale_factor()
+
+    def experiment():
+        out = {}
+        # Unoptimized: the full chain walks every variable per sample.
+        session, _ = _session(tokens)
+        started = time.perf_counter()
+        full_cursor = session.execute(
+            SELECTIVE_QUERY, samples=SAMPLES, burn_in=BURN_IN, optimize=False
+        )
+        full = {tuple(r[:-1]): r[-1] for r in full_cursor}
+        out["unoptimized_seconds"] = time.perf_counter() - started
+        session.close()
+
+        # Optimized: the planner restricts sampling to document 0.
+        session, instance = _session(tokens)
+        frozen_before = {
+            v: v.value
+            for doc, group in instance.model.groups.items()
+            if doc != 0
+            for v in group
+        }
+        started = time.perf_counter()
+        pruned_cursor = session.execute(
+            SELECTIVE_QUERY, samples=SAMPLES, burn_in=BURN_IN
+        )
+        pruned = {tuple(r[:-1]): r[-1] for r in pruned_cursor}
+        out["optimized_seconds"] = time.perf_counter() - started
+
+        # Exactness: provably irrelevant variables never moved.
+        assert all(v.value == val for v, val in frozen_before.items()), (
+            "targeted sampling moved a variable outside the certified groups"
+        )
+        runners = [r for r in session._runners.values() if r.targeted]
+        assert runners, "the planner restriction did not fire"
+        session.close()
+
+        keys = set(full) | set(pruned)
+        diffs = [abs(full.get(k, 0.0) - pruned.get(k, 0.0)) for k in keys]
+        out["mean_marginal_diff"] = statistics.mean(diffs) if diffs else 0.0
+        out["answer_tuples"] = len(keys)
+        return out
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    speedup = result["unoptimized_seconds"] / result["optimized_seconds"]
+    print(
+        f"\nselective query @ {tokens} tokens, {SAMPLES} samples: "
+        f"unoptimized {result['unoptimized_seconds']:.2f}s, "
+        f"optimized {result['optimized_seconds']:.2f}s -> {speedup:.1f}x; "
+        f"mean marginal diff {result['mean_marginal_diff']:.3f} "
+        f"over {result['answer_tuples']} tuples"
+    )
+    benchmark.extra_info["tokens"] = tokens
+    benchmark.extra_info["samples"] = SAMPLES
+    benchmark.extra_info["steps_per_sample"] = STEPS_PER_SAMPLE
+    benchmark.extra_info["query"] = SELECTIVE_QUERY
+    benchmark.extra_info["unoptimized_seconds"] = result["unoptimized_seconds"]
+    benchmark.extra_info["optimized_seconds"] = result["optimized_seconds"]
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["mean_marginal_diff"] = result["mean_marginal_diff"]
+    assert speedup >= MIN_PLANNER_SPEEDUP, (
+        f"planner speedup {speedup:.1f}x below the "
+        f"{MIN_PLANNER_SPEEDUP}x acceptance bar"
+    )
+    assert result["mean_marginal_diff"] <= MAX_MEAN_MARGINAL_DIFF, (
+        "pruned marginals diverged from the full chain beyond MCMC noise"
+    )
+
+
+@pytest.mark.benchmark(group="query-planner-bit-identity")
+def test_unoptimized_equivalent_plans_are_bit_identical(benchmark):
+    """No restriction can fire on an uncertain-only predicate: the
+    optimized session must reproduce the unoptimized marginals exactly
+    (same seeds, same worlds, same estimates)."""
+
+    def experiment():
+        runs = {}
+        for optimize in (True, False):
+            session, instance = _session(BIT_IDENTITY_TOKENS * scale_factor())
+            cursor = session.execute(
+                UNCERTAIN_QUERY, samples=BIT_IDENTITY_SAMPLES, optimize=optimize
+            )
+            runs[optimize] = (
+                _marginals(cursor),
+                tuple(v.value for v in instance.model.variables),
+                instance.kernel.stats.accepted,
+            )
+            session.close()
+        return runs
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    bit_identical = runs[True] == runs[False]
+    print(
+        f"\nbit-identity on {UNCERTAIN_QUERY!r}: "
+        f"{'EXACT' if bit_identical else 'DIVERGED'} "
+        f"({len(runs[True][0])} marginal rows)"
+    )
+    benchmark.extra_info["query"] = UNCERTAIN_QUERY
+    benchmark.extra_info["bit_identical"] = bit_identical
+    assert bit_identical, (
+        "optimized execution diverged on an unoptimized-equivalent plan"
+    )

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CI gate for the query-planner acceptance criteria (ISSUE 10).
+
+Reads a pytest-benchmark JSON produced by::
+
+    pytest benchmarks/bench_query_planner.py \
+        --benchmark-json=BENCH_query_planner.json
+
+and fails (exit 1) when either
+
+* the optimized-vs-unoptimized speedup on the selective
+  ``DOC_ID = 0`` query falls below ``--min-speedup`` — i.e. factor-graph
+  pruning stopped paying for itself (the certified restriction should
+  shrink the sampled variable set and the thinning interval by roughly
+  the document fraction, ~1/300 at 40k tokens); or
+* the in-bench bit-identity check on an unoptimized-equivalent plan
+  (uncertain-only predicate, no restriction possible) did not report
+  exact agreement — i.e. plan rewriting changed answers.
+
+Both comparisons are machine-relative: the two series run on the same
+hardware in the same process, so the gate is stable across CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Single source of truth for the gates; bench_query_planner.py imports
+# these for its in-test assertions and CI uses the script's defaults,
+# so one edit moves every enforcement point.  Measured ~9-14x at the
+# 40k-token / ~330-document scale (the restricted chain takes ~1/330 of
+# the steps per sample; fixed per-query evaluation costs absorb the
+# rest); 5.0 is the acceptance floor from the issue and still holds
+# under heavy scale-down via REPRO_SCALE.
+MIN_PLANNER_SPEEDUP = 5.0
+# Pruned and full chains are different, equally valid, samplers of the
+# same posterior; same-chain window-to-window noise on this workload
+# measures ~0.11 mean absolute marginal difference, so 0.30 separates
+# "MCMC noise" from "wrong posterior" with margin.
+MAX_MEAN_MARGINAL_DIFF = 0.30
+
+
+def planner_speedup(report: dict) -> float | None:
+    """The optimized-vs-unoptimized speedup, if recorded."""
+    for bench in report.get("benchmarks", []):
+        if bench.get("group") != "query-planner":
+            continue
+        speedup = bench.get("extra_info", {}).get("speedup")
+        if speedup is not None:
+            return float(speedup)
+    return None
+
+
+def bit_identical(report: dict) -> bool | None:
+    """The in-bench bit-identity verdict, if recorded."""
+    for bench in report.get("benchmarks", []):
+        if bench.get("group") != "query-planner-bit-identity":
+            continue
+        verdict = bench.get("extra_info", {}).get("bit_identical")
+        if verdict is not None:
+            return bool(verdict)
+    return None
+
+
+def mean_marginal_diff(report: dict) -> float | None:
+    """The pruned-vs-full mean marginal deviation, if recorded."""
+    for bench in report.get("benchmarks", []):
+        if bench.get("group") != "query-planner":
+            continue
+        diff = bench.get("extra_info", {}).get("mean_marginal_diff")
+        if diff is not None:
+            return float(diff)
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_PLANNER_SPEEDUP,
+        help=(
+            "smallest allowed optimized-vs-unoptimized speedup "
+            f"(default {MIN_PLANNER_SPEEDUP})"
+        ),
+    )
+    parser.add_argument(
+        "--max-marginal-diff",
+        type=float,
+        default=MAX_MEAN_MARGINAL_DIFF,
+        help=(
+            "largest allowed pruned-vs-full mean marginal difference "
+            f"(default {MAX_MEAN_MARGINAL_DIFF})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+
+    speedup = planner_speedup(report)
+    if speedup is None:
+        print(
+            "error: no planner speedup recorded "
+            "(test_selective_query_planner_speedup missing from the report)",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    print(
+        f"planner speedup on the selective query: {speedup:.1f}x "
+        f"(floor {args.min_speedup:.1f}x)"
+    )
+    if speedup < args.min_speedup:
+        print(
+            "FAIL: factor-graph pruning no longer pays for itself "
+            "on selective deterministic predicates",
+            file=sys.stderr,
+        )
+        failed = True
+
+    diff = mean_marginal_diff(report)
+    if diff is None:
+        print(
+            "error: no pruned-vs-full marginal deviation recorded",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"pruned-vs-full mean marginal diff: {diff:.3f} "
+        f"(limit {args.max_marginal_diff:.2f})"
+    )
+    if diff > args.max_marginal_diff:
+        print(
+            "FAIL: the restricted chain samples a different posterior",
+            file=sys.stderr,
+        )
+        failed = True
+
+    verdict = bit_identical(report)
+    if verdict is None:
+        print(
+            "error: no bit-identity verdict recorded "
+            "(test_unoptimized_equivalent_plans_are_bit_identical missing)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"unoptimized-equivalent bit identity: {'EXACT' if verdict else 'DIVERGED'}")
+    if not verdict:
+        print(
+            "FAIL: plan rewriting changed answers on an "
+            "unoptimized-equivalent query",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
+        return 1
+    print("OK: the planner is fast where it can be and exact where it must be")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,18 +38,22 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from repro.api import AnytimeCursor, Cursor, Session, connect
 from repro.db import AttrType, Database, Schema
+from repro.db.ra import PlannedQuery, Planner, default_planner
 
 __all__ = [
     "AnytimeCursor",
     "AttrType",
     "Cursor",
     "Database",
+    "PlannedQuery",
+    "Planner",
     "Schema",
     "Session",
     "connect",
+    "default_planner",
     "__version__",
 ]

@@ -27,6 +27,16 @@ def normalize_sql(sql: str) -> str:
     identifier case, or a trailing ``;`` normalize identically —
     identifiers are matched case-insensitively throughout the engine,
     so folding them is safe.  String literals keep their case.
+
+    Numeric literals render from their *token value*, so equivalent
+    spellings of the same value share a key (``1.0`` / ``1.00`` /
+    ``1e0``, and ``1e2`` / ``100.0`` — the lexer folds exponents into
+    one float token), while ``1`` and ``1.0`` stay **distinct** on
+    purpose: integer and float literals have different result types
+    (``SELECT 1`` yields an INT column, ``SELECT 1.0`` a FLOAT one),
+    so their compiled plans are not interchangeable.  A sign is a
+    separate symbol token (``-5`` is ``- 5``), making ``=-5`` and
+    ``= -5`` the same key.
     """
     parts: list[str] = []
     for token in tokenize(sql):

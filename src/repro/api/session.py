@@ -63,9 +63,10 @@ from repro.core.naive import NaiveEvaluator
 from repro.core.sharded import ShardChainFactory, ShardedEvaluator
 from repro.db.database import Database
 from repro.db.delta import Delta
-from repro.db.shard import Partitioner
+from repro.db.shard import Partitioner, stable_hash
 from repro.db.ra.ast import PlanNode
 from repro.db.ra.eval import evaluate_rows
+from repro.db.ra.planner import PlannedQuery, Planner, default_planner
 from repro.db.sql.ast import SelectStmt, Statement
 from repro.db.sql.compiler import compile_select
 from repro.db.sql.executor import execute_dml, execute_statement
@@ -73,6 +74,9 @@ from repro.db.sql.parser import parse_script, parse_statement
 from repro.errors import EvaluationError, QueryError, SessionBusyError
 from repro.fg.graph import GraphRepair
 from repro.mcmc.chain import MarkovChain
+from repro.mcmc.metropolis import MetropolisHastings
+from repro.mcmc.proposal import UniformLabelProposer
+from repro.mcmc.targeted import MixtureProposer, PlanRestriction, plan_restriction
 from repro.resilience import ResilienceConfig
 
 __all__ = ["Session", "connect"]
@@ -92,17 +96,25 @@ def connect(
     *,
     name: str = "pdb",
     plan_cache_size: int = 128,
+    planner: Optional[Planner] = None,
 ) -> "Session":
     """Open a :class:`Session` over ``database`` (or a fresh one)."""
-    return Session(database, name=name, plan_cache_size=plan_cache_size)
+    return Session(
+        database, name=name, plan_cache_size=plan_cache_size, planner=planner
+    )
 
 
 class _ChainRunner:
     """Drives one query evaluator; the initial world is counted as a
     sample only on the first run (later runs extend the same chain)."""
 
-    def __init__(self, evaluator: QueryEvaluator):
+    def __init__(self, evaluator: QueryEvaluator, targeted: bool = False):
         self.evaluator = evaluator
+        # A targeted runner samples a restricted (query-relevant)
+        # variable subset; its restriction is derived from the stored
+        # deterministic columns, so DML always disposes it instead of
+        # repairing (the restriction itself may be stale).
+        self.targeted = targeted
         self._first = True
         self._closed = False
 
@@ -259,8 +271,10 @@ class Session:
         *,
         name: str = "pdb",
         plan_cache_size: int = 128,
+        planner: Optional[Planner] = None,
     ):
         self.database = database if database is not None else Database(name)
+        self._planner = planner if planner is not None else default_planner()
         self._plans = PlanCache(plan_cache_size)
         self._runners: dict[tuple, Any] = {}
         self._model: Any = None
@@ -510,9 +524,18 @@ class Session:
         self._drop_runners(parallel=True)
         for key in list(self._runners):  # single-chain runners remain
             runner = self._runners[key]
-            if repair is not None and hasattr(runner, "notify_repair"):
+            if (
+                repair is not None
+                and hasattr(runner, "notify_repair")
+                and not getattr(runner, "targeted", False)
+            ):
                 runner.notify_repair(repair)
             else:
+                # Targeted runners are always disposed: their variable
+                # restriction was proved against the *pre-update*
+                # deterministic columns, and a repair may have added or
+                # removed groups the proof never saw.  Re-execution
+                # re-derives the restriction from the current world.
                 _dispose_runner(self._runners.pop(key))
 
     @property
@@ -531,23 +554,48 @@ class Session:
     def _route(self, sql: str) -> tuple[str, str, Any]:
         """Resolve ``sql`` to ``(cache_key, kind, payload)``.
 
-        SELECT payloads are compiled plans, DML payloads parsed
-        statements — both served from the plan cache.  DDL is never
-        cached: it changes the schema as it executes.
+        SELECT payloads are :class:`PlannedQuery` objects (the compiled
+        plan plus its planner rewrite), DML payloads parsed statements —
+        both served from the plan cache.  DDL is never cached: it
+        changes the schema as it executes.
+
+        Every cached entry is stamped with the database's
+        :attr:`~repro.db.database.Database.schema_version` at compile
+        time and treated as a miss when the stamp has moved on.  The
+        session's own DDL clears the cache (:meth:`_after_ddl`), but
+        that is not the only route schema can change — direct
+        ``db.create_table``/``drop_table`` calls and DDL issued by
+        another session sharing this database bypass it entirely, and a
+        DROP+CREATE with a different layout would otherwise serve a
+        compiled plan reading columns at their old positions.
         """
         key = normalize_sql(sql)
         entry = self._plans.get(key)
+        if entry is not None and entry[2] != self.database.schema_version:
+            entry = None
         if entry is None:
+            stamp = self.database.schema_version
             stmt: Statement = parse_statement(sql)
             if isinstance(stmt, SelectStmt):
-                entry = ("query", compile_select(stmt, self.database))
+                planned = self._planner.plan(compile_select(stmt, self.database))
+                entry = ("query", planned, stamp)
                 self._plans.put(key, entry)
             elif stmt.kind == "ddl":
-                entry = ("ddl", stmt)
+                entry = ("ddl", stmt, stamp)
             else:
-                entry = ("dml", stmt)
+                entry = ("dml", stmt, stamp)
                 self._plans.put(key, entry)
         return key, entry[0], entry[1]
+
+    def explain(self, sql: str) -> str:
+        """The planner's rendering of a SELECT: the plan that will run,
+        the rewrite trace, and — when any rule fired — the original
+        compiled tree for comparison."""
+        self._check_open()
+        key, kind, payload = self._route(sql)
+        if kind != "query":
+            raise QueryError(f"EXPLAIN applies to SELECT statements ({kind})")
+        return payload.explain()
 
     # ------------------------------------------------------------------
     # Execution
@@ -564,6 +612,7 @@ class Session:
         shards: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
         resilience: Optional[ResilienceConfig] = None,
+        optimize: bool = True,
     ) -> Cursor:
         """Execute one SQL statement and return its cursor.
 
@@ -607,6 +656,15 @@ class Session:
         chains and worker processes alike — so marginals accumulate
         across calls exactly like :meth:`AnytimeCursor.refine`.
 
+        ``optimize=False`` is the planner escape hatch: the query runs
+        on the compiled tree exactly as the SQL compiler produced it —
+        no rewrite rules, no projection pruning, no factor-graph
+        restriction.  The optimizer preserves answers (bit-identical
+        deterministic results and, for unoptimized-equivalent plans,
+        bit-identical marginals under the same seed), so the flag
+        exists for debugging and for A/B-measuring the planner itself
+        (:mod:`benchmarks.bench_query_planner` does exactly that).
+
         ``resilience`` supervises the run's chain workers
         (:class:`~repro.resilience.ResilienceConfig`): they checkpoint
         at the configured cadence and a crashed or wedged worker is
@@ -628,7 +686,8 @@ class Session:
                 self._after_dml(delta)
                 return Cursor(statement_kind="dml", rowcount=rowcount)
 
-            plan: PlanNode = payload
+            planned: PlannedQuery = payload
+            plan = planned.chosen(optimize)
             if samples is None:
                 columns = [
                     (a.name, a.attr_type) for a in plan.schema.attributes
@@ -641,13 +700,14 @@ class Session:
             runner = self._prepare_routed(
                 key,
                 sql,
-                plan,
+                planned,
                 evaluator,
                 chains,
                 backend,
                 shards,
                 partitioner,
                 resilience,
+                optimize,
             )
             try:
                 result = runner.run(samples, burn_in=burn_in)
@@ -681,7 +741,13 @@ class Session:
         cursor = Cursor(statement_kind="ddl", rowcount=0)
         for stmt in parse_script(sql):
             if isinstance(stmt, SelectStmt):
-                plan = compile_select(stmt, self.database)
+                # Scripts compile each SELECT fresh against the current
+                # schema (a script may have just dropped and recreated
+                # a table), but still run it through the planner so a
+                # script SELECT executes the same tree as execute().
+                plan = self._planner.plan(
+                    compile_select(stmt, self.database)
+                ).plan
                 columns = [(a.name, a.attr_type) for a in plan.schema.attributes]
                 cursor = Cursor(
                     statement_kind="query",
@@ -708,6 +774,7 @@ class Session:
         shards: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
         resilience: Optional[ResilienceConfig] = None,
+        optimize: bool = True,
     ):
         """The (cached) probabilistic runner for ``sql``.
 
@@ -717,7 +784,7 @@ class Session:
         self._check_open()
         self._acquire_guard()
         try:
-            key, kind, plan = self._route(sql)
+            key, kind, planned = self._route(sql)
             if kind != "query":
                 raise QueryError(
                     f"only SELECT can be evaluated probabilistically ({kind})"
@@ -725,13 +792,14 @@ class Session:
             return self._prepare_routed(
                 key,
                 sql,
-                plan,
+                planned,
                 evaluator,
                 chains,
                 backend,
                 shards,
                 partitioner,
                 resilience,
+                optimize,
             )
         finally:
             self._exec_guard.release()
@@ -740,15 +808,17 @@ class Session:
         self,
         key: str,
         sql: str,
-        plan: PlanNode,
+        planned: PlannedQuery,
         evaluator: str,
         chains: int,
         backend: str = "sequential",
         shards: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
         resilience: Optional[ResilienceConfig] = None,
+        optimize: bool = True,
     ):
         validate_backend_name(backend)
+        plan = planned.chosen(optimize)
         evaluator_cls = _EVALUATOR_CLASSES.get(evaluator, MaterializedEvaluator)
         if evaluator not in _EVALUATOR_CLASSES and evaluator != "parallel":
             raise EvaluationError(
@@ -776,6 +846,7 @@ class Session:
                 # earlier cursors still hold.
                 partitioner.fingerprint() if partitioner is not None else None,
                 resilience.fingerprint() if resilience is not None else None,
+                optimize,
             )
             runner = self._evict_if_dead(runner_key)
             if runner is None:
@@ -826,6 +897,7 @@ class Session:
                 backend,
                 evaluator_cls.__name__,
                 resilience.fingerprint() if resilience is not None else None,
+                optimize,
             )
             runner = self._evict_if_dead(runner_key)
             if runner is None:
@@ -847,7 +919,7 @@ class Session:
                 "probabilistic execution needs an attached model; call "
                 "attach_model() first"
             )
-        runner_key = (key, evaluator)
+        runner_key = (key, evaluator, optimize)
         runner = self._runners.get(runner_key)
         if runner is None:
             # The materialized strategy gets the repair-aware subclass
@@ -857,9 +929,81 @@ class Session:
                 if evaluator_cls is MaterializedEvaluator
                 else evaluator_cls
             )
-            runner = _ChainRunner(cls(self.database, self._chain, [plan]))
+            chain = self._chain
+            targeted = False
+            if optimize:
+                restricted = self._targeted_chain(key, plan)
+                if restricted is not None:
+                    chain, targeted = restricted, True
+            runner = _ChainRunner(
+                cls(self.database, chain, [plan]), targeted=targeted
+            )
             self._runners[runner_key] = runner
         return runner
+
+    def _targeted_chain(self, key: str, plan: PlanNode) -> Optional[MarkovChain]:
+        """A restricted sampler for ``plan``, or ``None``.
+
+        When the attached model declares factor-closed variable groups
+        keyed by a deterministic group column (e.g. the NER model's
+        per-document components keyed by ``DOC_ID``) and
+        :func:`~repro.mcmc.targeted.plan_restriction` proves that only
+        some groups can contribute answer rows, the query is sampled by
+        a dedicated chain whose proposer draws exclusively from the
+        relevant variables (``MixtureProposer`` with ``focus=1.0``) —
+        irrelevant groups keep their initial-world values, which is
+        exact because the groups are independent components.  The
+        thinning interval shrinks proportionally: ``k`` walk steps over
+        the full variable set become ``max(1, round(k · fraction))``
+        steps over the restricted set, preserving per-variable sampling
+        effort while cutting per-sample cost by the pruned fraction.
+
+        The attached chain is never touched — its kernel keeps sampling
+        other queries — and the targeted kernel gets its own
+        deterministic seed derived from the cache key, so re-executing
+        the same SQL reproduces the same restricted stream.
+        """
+        model = self._restriction_model()
+        if model is None:
+            return None
+        restriction: Optional[PlanRestriction] = plan_restriction(
+            plan, model, self.database
+        )
+        if restriction is None:
+            return None
+        attached = self._chain
+        assert attached is not None
+        proposer = MixtureProposer(
+            UniformLabelProposer(restriction.variables),
+            UniformLabelProposer(tuple(model.variables)),
+            focus=1.0,
+        )
+        kernel = MetropolisHastings(
+            model.graph,
+            proposer,
+            seed=stable_hash(("targeted", key)),
+            temperature=getattr(attached.kernel, "temperature", 1.0),
+        )
+        steps = max(1, round(attached.steps_per_sample * restriction.fraction))
+        return MarkovChain(kernel, steps)
+
+    def _restriction_model(self) -> Optional[Any]:
+        """The attached model object usable for factor-graph pruning —
+        the one declaring ``groups``/``group_column``/``graph``/
+        ``variables`` — whether attached directly (a
+        :class:`~repro.ie.ner.model.SkipChainNerModel`) or wrapped (a
+        :class:`~repro.ie.ner.pdb.NerInstance` exposing ``.model``)."""
+        for candidate in (self._model, getattr(self._model, "model", None)):
+            if candidate is None:
+                continue
+            if (
+                getattr(candidate, "groups", None)
+                and getattr(candidate, "group_column", None)
+                and getattr(candidate, "graph", None) is not None
+                and getattr(candidate, "variables", None)
+            ):
+                return candidate
+        return None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,7 @@ from typing import Callable, List, Sequence
 from repro.db.database import Database
 from repro.db.multiset import Multiset
 from repro.db.ra.ast import PlanNode
+from repro.db.ra.planner import PlannedQuery
 from repro.db.sql.compiler import plan_query
 from repro.db.view import strip_presentation
 from repro.errors import EvaluationError
@@ -85,19 +86,28 @@ class QueryEvaluator:
         self,
         db: Database,
         chain: MarkovChain,
-        queries: Sequence[str | PlanNode],
+        queries: Sequence[str | PlanNode | PlannedQuery],
     ):
         if not queries:
             raise EvaluationError("need at least one query")
         self.db = db
         self.chain = chain
         self.plans: List[PlanNode] = [
-            strip_presentation(q if isinstance(q, PlanNode) else plan_query(db, q))
-            for q in queries
+            strip_presentation(self._as_plan(q)) for q in queries
         ]
         self.estimators: List[MarginalEstimator] = [
             MarginalEstimator() for _ in self.plans
         ]
+
+    def _as_plan(self, query: str | PlanNode | PlannedQuery) -> PlanNode:
+        """Resolve one ``queries`` element to a plan tree: SQL text is
+        compiled, a :class:`PlannedQuery` contributes its optimized
+        plan, a bare tree is used as-is."""
+        if isinstance(query, PlannedQuery):
+            return query.plan
+        if isinstance(query, PlanNode):
+            return query
+        return plan_query(self.db, query)
 
     # ------------------------------------------------------------------
     # Subclass contract

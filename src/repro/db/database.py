@@ -60,6 +60,7 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._recorders: list[DeltaRecorder] = []
         self._version = 0
+        self._schema_version = 0
 
     # ------------------------------------------------------------------
     # Versioning
@@ -82,6 +83,23 @@ class Database:
         self._version += 1
         return self._version
 
+    @property
+    def schema_version(self) -> int:
+        """Monotonic count of schema changes (table create/drop).
+
+        Unlike :attr:`version` — which the SQL executor advances for
+        committed statements — this counter is bumped by the schema
+        operations *themselves*, so every route is covered: SQL DDL,
+        ``execute_script``, and direct :meth:`create_table` /
+        :meth:`drop_table` calls (including DDL issued by another
+        session sharing this database).  Compiled query plans hold
+        schema-derived accessors, so the plan cache keys its entries on
+        this value: a ``DROP TABLE`` + ``CREATE TABLE`` with a
+        different layout can never serve a stale compiled plan, which
+        would silently read columns at their old positions.
+        """
+        return self._schema_version
+
     # ------------------------------------------------------------------
     # Schema management
     # ------------------------------------------------------------------
@@ -91,12 +109,14 @@ class Database:
             raise IntegrityError(f"table {schema.name!r} already exists")
         table = Table(schema, listener=self._on_mutation)
         self._tables[key] = table
+        self._schema_version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         if name.lower() not in self._tables:
             raise IntegrityError(f"no table named {name!r}")
         del self._tables[name.lower()]
+        self._schema_version += 1
 
     def table(self, name: str) -> Table:
         try:

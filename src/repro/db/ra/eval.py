@@ -39,44 +39,68 @@ __all__ = ["evaluate", "evaluate_rows", "compute_aggregates", "zero_for"]
 Row = Tuple[Any, ...]
 
 
-def evaluate(plan: PlanNode, db: Database) -> Multiset:
+Memo = Dict[int, Multiset]
+
+
+def evaluate(plan: PlanNode, db: Database, memo: Memo | None = None) -> Multiset:
     """Evaluate ``plan`` against ``db``, returning a signed multiset
-    whose support is the query answer."""
+    whose support is the query answer.
+
+    ``memo`` caches results by node *identity* for the duration of one
+    call: planner-consolidated plans share one object for repeated
+    ``Scan`` / ``σ(Scan)`` subtrees, so the shared work runs once per
+    evaluation.  Consumers never mutate the returned multisets
+    (filter/map/union all allocate), so sharing the cached object is
+    safe.  The memo must not outlive the call — the next world sample
+    invalidates every entry.
+    """
+    if memo is None:
+        memo = {}
+    key = id(plan)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _evaluate(plan, db, memo)
+    memo[key] = result
+    return result
+
+
+def _evaluate(plan: PlanNode, db: Database, memo: Memo) -> Multiset:
     if isinstance(plan, Scan):
         return db.table(plan.table_name).as_multiset()
 
     if isinstance(plan, Select):
-        child = evaluate(plan.child, db)
+        child = evaluate(plan.child, db, memo)
         predicate = plan.predicate.bind(plan.child.schema)
         return child.filter_rows(predicate)
 
     if isinstance(plan, Project):
-        child = evaluate(plan.child, db)
+        child = evaluate(plan.child, db, memo)
         compiled = [expr.bind(plan.child.schema) for expr, _ in plan.outputs]
         return child.map_rows(lambda row: tuple(fn(row) for fn in compiled))
 
     if isinstance(plan, (Join, CrossProduct)):
-        return _evaluate_join(plan, db)
+        return _evaluate_join(plan, db, memo)
 
     if isinstance(plan, UnionAll):
-        return evaluate(plan.left, db) + evaluate(plan.right, db)
+        return evaluate(plan.left, db, memo) + evaluate(plan.right, db, memo)
 
     if isinstance(plan, Distinct):
-        child = evaluate(plan.child, db)
+        child = evaluate(plan.child, db, memo)
         out = Multiset()
         for row in child.support():
             out.add(row, 1)
         return out
 
     if isinstance(plan, GroupAggregate):
-        return _evaluate_aggregate(plan, db)
+        return _evaluate_aggregate(plan, db, memo)
 
     if isinstance(plan, AggLookup):
-        return _evaluate_agg_lookup(plan, db)
+        return _evaluate_agg_lookup(plan, db, memo)
 
     if isinstance(plan, OrderBy):
         # A multiset has no order; ordering only affects evaluate_rows.
-        return evaluate(plan.child, db)
+        return evaluate(plan.child, db, memo)
 
     if isinstance(plan, Limit):
         raise PlanError(
@@ -107,9 +131,9 @@ def evaluate_rows(plan: PlanNode, db: Database) -> list[Row]:
 # ----------------------------------------------------------------------
 # Joins
 # ----------------------------------------------------------------------
-def _evaluate_join(plan: Join | CrossProduct, db: Database) -> Multiset:
-    left = evaluate(plan.left, db)
-    right = evaluate(plan.right, db)
+def _evaluate_join(plan: Join | CrossProduct, db: Database, memo: Memo) -> Multiset:
+    left = evaluate(plan.left, db, memo)
+    right = evaluate(plan.right, db, memo)
     if isinstance(plan, Join):
         left_key = [c.bind(plan.left.schema) for c, _ in plan.equi_pairs]
         right_key = [c.bind(plan.right.schema) for _, c in plan.equi_pairs]
@@ -186,8 +210,8 @@ def compute_aggregates(
     return tuple(values)
 
 
-def _evaluate_aggregate(plan: GroupAggregate, db: Database) -> Multiset:
-    child = evaluate(plan.child, db)
+def _evaluate_aggregate(plan: GroupAggregate, db: Database, memo: Memo) -> Multiset:
+    child = evaluate(plan.child, db, memo)
     group_fns = [expr.bind(plan.child.schema) for expr, _ in plan.group_by]
     arg_fns = [
         spec.arg.bind(plan.child.schema) if spec.arg is not None else None
@@ -213,9 +237,9 @@ def _evaluate_aggregate(plan: GroupAggregate, db: Database) -> Multiset:
     return out
 
 
-def _evaluate_agg_lookup(plan: AggLookup, db: Database) -> Multiset:
-    outer = evaluate(plan.outer, db)
-    inner = evaluate(plan.inner, db)
+def _evaluate_agg_lookup(plan: AggLookup, db: Database, memo: Memo) -> Multiset:
+    outer = evaluate(plan.outer, db, memo)
+    inner = evaluate(plan.inner, db, memo)
     values: Dict[Any, Any] = {}
     for row in inner.support():
         values[row[0]] = row[1]

@@ -1,0 +1,535 @@
+"""Rewrite rules for the relational-algebra planner.
+
+Each :class:`Rule` is a local, semantics-preserving transformation over
+:class:`~repro.db.ra.ast.PlanNode` trees: given one node it either
+returns an equivalent replacement or ``None``.  The
+:class:`~repro.db.ra.planner.Planner` drives an ordered program of
+rules to a fixpoint and then runs the two whole-tree phases defined
+here (:func:`prune_projections`, :func:`consolidate_scans`).
+
+Equivalence contract
+--------------------
+Every rewrite must preserve the *multiset* answer of the plan on every
+possible world — probabilistic evaluation samples worlds and re-reads
+the answer, so any world-dependent divergence would corrupt marginals.
+Conjunct order is preserved when predicates merge or move (``X != 0
+AND 10/X > 2`` keeps its short-circuit guarantee), and predicate
+*expressions* are never rewritten — only relocated — which keeps
+:func:`repro.mcmc.targeted.relevant_variables` invariant under
+planning.  Pushing a conjunct below a join evaluates it on rows the
+join may later discard; this follows the compiler's existing pushdown
+convention (:meth:`repro.db.sql.compiler._Compiler._from_plan`).
+
+The tiny expression helpers (:func:`split_conjuncts`, :func:`conjoin`,
+:func:`resolves_in`) are deliberately redefined here rather than
+imported from :mod:`repro.db.sql.compiler`: ``db/ra`` sits below
+``db/sql`` in the layering and must not depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.db.ra.ast import (
+    AggLookup,
+    And,
+    ColumnRef,
+    CrossProduct,
+    Distinct,
+    Expr,
+    GroupAggregate,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.db.schema import Schema
+from repro.errors import PlanError, QueryError
+
+__all__ = [
+    "Rule",
+    "MergeSelects",
+    "PushSelectIntoJoin",
+    "CrossToJoin",
+    "PushSelectBelowUnion",
+    "PushSelectIntoAggLookup",
+    "RemoveIdentityProject",
+    "DEFAULT_RULES",
+    "replace_children",
+    "prune_projections",
+    "consolidate_scans",
+    "split_conjuncts",
+    "conjoin",
+    "resolves_in",
+]
+
+# Callback the planner passes in to record rule applications:
+# ``on_apply(rule_name, detail)``.
+OnApply = Callable[[str, str], None]
+
+
+# ----------------------------------------------------------------------
+# Expression helpers
+# ----------------------------------------------------------------------
+def split_conjuncts(expr: Expr) -> List[Expr]:
+    """Flatten nested ANDs into an ordered conjunct list."""
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for term in expr.terms:
+            out.extend(split_conjuncts(term))
+        return out
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expr]) -> Expr:
+    """Rebuild one predicate from an ordered conjunct list."""
+    if not conjuncts:
+        raise PlanError("cannot conjoin an empty conjunct list")
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(*conjuncts)
+
+
+def resolves_in(expr: Expr, schema: Schema) -> bool:
+    """Whether every column of ``expr`` resolves in ``schema``."""
+    for col in expr.columns():
+        try:
+            col._resolve(schema)
+        except QueryError:
+            return False
+    return True
+
+
+def _resolved_names(expr: Expr, schema: Schema) -> Set[str]:
+    """Exact attribute names of ``schema`` referenced by ``expr``."""
+    return {
+        schema.attributes[col._resolve(schema)].name for col in expr.columns()
+    }
+
+
+# ----------------------------------------------------------------------
+# Tree surgery
+# ----------------------------------------------------------------------
+def replace_children(node: PlanNode, children: Sequence[PlanNode]) -> PlanNode:
+    """Rebuild ``node`` over ``children`` (same node if nothing changed).
+
+    Nodes compute schemas and bind expressions in their constructors,
+    so replacement goes through the constructor — a child whose schema
+    no longer satisfies the node's expressions fails fast here.
+    """
+    current = node.children()
+    if len(current) == len(children) and all(
+        a is b for a, b in zip(current, children)
+    ):
+        return node
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Select):
+        return Select(children[0], node.predicate)
+    if isinstance(node, Project):
+        return Project(children[0], node.outputs)
+    if isinstance(node, Join):
+        return Join(children[0], children[1], node.condition)
+    if isinstance(node, CrossProduct):
+        return CrossProduct(children[0], children[1])
+    if isinstance(node, UnionAll):
+        return UnionAll(children[0], children[1])
+    if isinstance(node, Distinct):
+        return Distinct(children[0])
+    if isinstance(node, GroupAggregate):
+        return GroupAggregate(children[0], node.group_by, node.aggregates)
+    if isinstance(node, AggLookup):
+        inner = children[1]
+        if not isinstance(inner, GroupAggregate):
+            raise PlanError("AggLookup inner must stay a GroupAggregate")
+        return AggLookup(
+            children[0], inner, node.outer_key, node.output_name, node.default
+        )
+    if isinstance(node, OrderBy):
+        return OrderBy(children[0], node.keys)
+    if isinstance(node, Limit):
+        return Limit(children[0], node.n)
+    raise PlanError(f"unknown plan node {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule:
+    """One local rewrite: ``apply(node)`` returns an equivalent
+    replacement rooted at the same position, or ``None`` to pass."""
+
+    name: str = "rule"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        raise NotImplementedError
+
+
+class MergeSelects(Rule):
+    """``σ_q(σ_p(x)) → σ_{p ∧ q}(x)``.
+
+    Inner conjuncts come first in the merged predicate so short-circuit
+    evaluation preserves the original guard order (``X != 0`` still
+    protects ``10/X > 2``).
+    """
+
+    name = "merge-selects"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not (isinstance(node, Select) and isinstance(node.child, Select)):
+            return None
+        inner = node.child
+        merged = split_conjuncts(inner.predicate) + split_conjuncts(node.predicate)
+        return Select(inner.child, conjoin(merged))
+
+
+class PushSelectIntoJoin(Rule):
+    """``σ_p(A ⋈ B) → σ_rest(σ_a(A) ⋈ σ_b(B))``.
+
+    Conjuncts resolving wholly in one input move below the join (the
+    deterministic-predicate pushdown that shrinks the sampled join
+    input); multi-input conjuncts stay above.
+    """
+
+    name = "push-select-into-join"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not (isinstance(node, Select) and isinstance(node.child, Join)):
+            return None
+        join = node.child
+        left_parts: List[Expr] = []
+        right_parts: List[Expr] = []
+        rest: List[Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            if resolves_in(conjunct, join.left.schema):
+                left_parts.append(conjunct)
+            elif resolves_in(conjunct, join.right.schema):
+                right_parts.append(conjunct)
+            else:
+                rest.append(conjunct)
+        if not left_parts and not right_parts:
+            return None
+        left = Select(join.left, conjoin(left_parts)) if left_parts else join.left
+        right = (
+            Select(join.right, conjoin(right_parts)) if right_parts else join.right
+        )
+        rejoined: PlanNode = Join(left, right, join.condition)
+        return Select(rejoined, conjoin(rest)) if rest else rejoined
+
+
+class CrossToJoin(Rule):
+    """``σ_p(A × B)`` — push per-side conjuncts down and turn the
+    spanning conjuncts into a join condition (hash-joined when they
+    contain ``col = col`` equalities)."""
+
+    name = "cross-to-join"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not (isinstance(node, Select) and isinstance(node.child, CrossProduct)):
+            return None
+        cross = node.child
+        left_parts: List[Expr] = []
+        right_parts: List[Expr] = []
+        spanning: List[Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            if resolves_in(conjunct, cross.left.schema):
+                left_parts.append(conjunct)
+            elif resolves_in(conjunct, cross.right.schema):
+                right_parts.append(conjunct)
+            else:
+                spanning.append(conjunct)
+        if not left_parts and not right_parts and not spanning:
+            return None
+        left = (
+            Select(cross.left, conjoin(left_parts)) if left_parts else cross.left
+        )
+        right = (
+            Select(cross.right, conjoin(right_parts))
+            if right_parts
+            else cross.right
+        )
+        if spanning:
+            return Join(left, right, conjoin(spanning))
+        if not left_parts and not right_parts:
+            return None
+        return CrossProduct(left, right)
+
+
+class PushSelectBelowUnion(Rule):
+    """``σ_p(A ∪ B) → σ_p(A) ∪ σ_p(B)``.
+
+    UNION ALL compatibility is by *type*, not name, and the union's
+    schema is its left child's — so the push is sound only when every
+    predicate column resolves to the **same position** in both
+    children (the original filter addressed right-child rows through
+    the left child's positions)."""
+
+    name = "push-select-below-union"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not (isinstance(node, Select) and isinstance(node.child, UnionAll)):
+            return None
+        union = node.child
+        for col in node.predicate.columns():
+            try:
+                if col._resolve(union.left.schema) != col._resolve(
+                    union.right.schema
+                ):
+                    return None
+            except QueryError:
+                return None
+        return UnionAll(
+            Select(union.left, node.predicate),
+            Select(union.right, node.predicate),
+        )
+
+
+class PushSelectIntoAggLookup(Rule):
+    """``σ_p(AggLookup(outer, inner)) → AggLookup(σ_p(outer), inner)``
+    for conjuncts over outer columns only.
+
+    The lookup extends each outer row independently, so filtering the
+    outer input first is exact; conjuncts referencing the looked-up
+    value (the ``__sqN`` column) stay above."""
+
+    name = "push-select-into-agglookup"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not (isinstance(node, Select) and isinstance(node.child, AggLookup)):
+            return None
+        lookup = node.child
+        mine: List[Expr] = []
+        rest: List[Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            if resolves_in(conjunct, lookup.outer.schema):
+                mine.append(conjunct)
+            else:
+                rest.append(conjunct)
+        if not mine:
+            return None
+        pushed: PlanNode = AggLookup(
+            Select(lookup.outer, conjoin(mine)),
+            lookup.inner,
+            lookup.outer_key,
+            lookup.output_name,
+            lookup.default,
+        )
+        return Select(pushed, conjoin(rest)) if rest else pushed
+
+
+class RemoveIdentityProject(Rule):
+    """Drop a projection that re-emits its input unchanged (same
+    columns, same names, same order)."""
+
+    name = "remove-identity-project"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not isinstance(node, Project):
+            return None
+        child = node.child
+        if len(node.outputs) != len(child.schema.attributes):
+            return None
+        for index, ((expr, name), attr) in enumerate(
+            zip(node.outputs, child.schema.attributes)
+        ):
+            if not isinstance(expr, ColumnRef) or name != attr.name:
+                return None
+            try:
+                if expr._resolve(child.schema) != index:
+                    return None
+            except QueryError:
+                return None
+        return child
+
+
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    MergeSelects(),
+    PushSelectIntoJoin(),
+    CrossToJoin(),
+    PushSelectBelowUnion(),
+    PushSelectIntoAggLookup(),
+    RemoveIdentityProject(),
+)
+
+
+# ----------------------------------------------------------------------
+# Whole-tree phase: projection pruning
+# ----------------------------------------------------------------------
+def prune_projections(
+    plan: PlanNode, on_apply: Optional[OnApply] = None
+) -> PlanNode:
+    """Insert narrowing projections below joins and aggregations.
+
+    A top-down required-column analysis threads the set of attribute
+    names each subtree must produce; where a join or aggregation input
+    carries unneeded columns, a name-preserving :class:`Project` is
+    inserted so rows narrow *before* they are joined or grouped.  The
+    root's schema is never changed, and positional operators
+    (``UNION ALL``, ``DISTINCT``) require their full input — narrowing
+    below them would change deduplication semantics.
+    """
+    return _prune(plan, None, on_apply)
+
+
+def _prune(
+    node: PlanNode, required: Optional[Set[str]], on_apply: Optional[OnApply]
+) -> PlanNode:
+    """Rebuild ``node`` so its schema keeps (at least) ``required``
+    attribute names; ``None`` means every column is required."""
+    if isinstance(node, Scan):
+        return node
+
+    if isinstance(node, Select):
+        need = _extend(required, _resolved_names(node.predicate, node.schema))
+        return replace_children(node, (_prune(node.child, need, on_apply),))
+
+    if isinstance(node, Project):
+        child_need: Set[str] = set()
+        for expr, _name in node.outputs:
+            child_need |= _resolved_names(expr, node.child.schema)
+        return replace_children(
+            node, (_prune(node.child, child_need, on_apply),)
+        )
+
+    if isinstance(node, (Join, CrossProduct)):
+        condition = node.condition if isinstance(node, Join) else None
+        cond_names = (
+            _resolved_names(condition, node.schema)
+            if condition is not None
+            else set()
+        )
+        sides: List[PlanNode] = []
+        for child in (node.left, node.right):
+            names = {a.name for a in child.schema.attributes}
+            side_need = (
+                None
+                if required is None
+                else (required | cond_names) & names
+            )
+            pruned = _prune(child, side_need, on_apply)
+            sides.append(_narrow(pruned, side_need, on_apply))
+        return replace_children(node, tuple(sides))
+
+    if isinstance(node, (UnionAll, Distinct)):
+        # Positional semantics: every input column participates.
+        return replace_children(
+            node, tuple(_prune(c, None, on_apply) for c in node.children())
+        )
+
+    if isinstance(node, GroupAggregate):
+        child_need = set()
+        for expr, _name in node.group_by:
+            child_need |= _resolved_names(expr, node.child.schema)
+        for spec in node.aggregates:
+            if spec.arg is not None:
+                child_need |= _resolved_names(spec.arg, node.child.schema)
+        pruned = _prune(node.child, child_need, on_apply)
+        return replace_children(
+            node, (_narrow(pruned, child_need, on_apply),)
+        )
+
+    if isinstance(node, AggLookup):
+        outer_names = {a.name for a in node.outer.schema.attributes}
+        outer_need = (
+            None
+            if required is None
+            else (required | _resolved_names(node.outer_key, node.outer.schema))
+            & outer_names
+        )
+        outer = _narrow(
+            _prune(node.outer, outer_need, on_apply), outer_need, on_apply
+        )
+        inner = _prune(node.inner, None, on_apply)
+        return replace_children(node, (outer, inner))
+
+    if isinstance(node, OrderBy):
+        need = required
+        for expr, _descending in node.keys:
+            need = _extend(need, _resolved_names(expr, node.child.schema))
+        return replace_children(node, (_prune(node.child, need, on_apply),))
+
+    if isinstance(node, Limit):
+        return replace_children(
+            node, (_prune(node.child, required, on_apply),)
+        )
+
+    raise PlanError(f"unknown plan node {type(node).__name__}")
+
+
+def _extend(required: Optional[Set[str]], extra: Set[str]) -> Optional[Set[str]]:
+    return None if required is None else required | extra
+
+
+def _narrow(
+    child: PlanNode, required: Optional[Set[str]], on_apply: Optional[OnApply]
+) -> PlanNode:
+    """Wrap ``child`` in a name-preserving projection onto ``required``
+    (no-op when everything is required)."""
+    if required is None:
+        return child
+    attrs = child.schema.attributes
+    keep = [a.name for a in attrs if a.name in required]
+    if len(keep) == len(attrs):
+        return child
+    if not keep:
+        # COUNT(*)-style consumers reference no column but still count
+        # rows; keep one column so multiplicities survive.
+        keep = [attrs[0].name]
+    if on_apply is not None:
+        dropped = len(attrs) - len(keep)
+        on_apply(
+            "prune-projections",
+            f"narrowed {child!r} to {len(keep)} columns (-{dropped})",
+        )
+    return Project(child, [(ColumnRef(name), name) for name in keep])
+
+
+# ----------------------------------------------------------------------
+# Whole-tree phase: repeated-scan consolidation
+# ----------------------------------------------------------------------
+def consolidate_scans(
+    plan: PlanNode, on_apply: Optional[OnApply] = None
+) -> PlanNode:
+    """Share identical ``Scan`` / ``σ(Scan)`` subtrees as one object.
+
+    A query that reads the same table twice under the same alias and
+    filter (a decorrelated subquery next to its outer scan, union
+    branches over one table) evaluates the shared subtree once per
+    world: :func:`repro.db.ra.eval.evaluate` memoizes results by node
+    identity within a call.  Maintainers are built per tree position,
+    so the materialized path is unaffected by sharing.
+    """
+    seen: Dict[Tuple[object, ...], PlanNode] = {}
+
+    def visit(node: PlanNode) -> PlanNode:
+        fingerprint = _scan_fingerprint(node)
+        if fingerprint is not None:
+            cached = seen.get(fingerprint)
+            if cached is not None:
+                if cached is not node and on_apply is not None:
+                    on_apply("consolidate-scans", f"shared {node!r}")
+                return cached
+            seen[fingerprint] = node
+            return node
+        return replace_children(node, tuple(visit(c) for c in node.children()))
+
+    return visit(plan)
+
+
+def _scan_fingerprint(node: PlanNode) -> Optional[Tuple[object, ...]]:
+    if isinstance(node, Scan):
+        return (
+            "scan",
+            node.table_name.lower(),
+            node.alias.lower(),
+            tuple((a.name, a.attr_type) for a in node.schema.attributes),
+        )
+    if isinstance(node, Select):
+        child = _scan_fingerprint(node.child)
+        if child is not None:
+            return ("select", child, repr(node.predicate))
+    return None

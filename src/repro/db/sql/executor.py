@@ -84,6 +84,13 @@ def execute_dml(db: Database, stmt: Statement) -> Tuple[int, Delta]:
 # ----------------------------------------------------------------------
 # DDL
 # ----------------------------------------------------------------------
+# Two version counters move on DDL, with different owners on purpose:
+# the executor advances ``db.version`` (committed-*statement* count —
+# direct ``create_table`` calls while assembling a database must not
+# look like committed statements to the serving layer), while
+# ``db.schema_version`` is bumped inside ``create_table``/``drop_table``
+# themselves so plan-cache staleness checks cover every route schema
+# can change, including ones that never pass through this executor.
 def _create_table(db: Database, stmt: CreateTableStmt) -> int:
     if stmt.if_not_exists and db.has_table(stmt.table):
         return 0

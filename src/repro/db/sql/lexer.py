@@ -130,4 +130,22 @@ def _scan_number(text: str, start: int) -> tuple[int | float, int]:
     raw = text[start:i]
     if raw.endswith("."):
         raise SqlSyntaxError(f"malformed number {raw!r}", start)
-    return (float(raw) if seen_dot else int(raw)), i
+    # Scientific notation: ``1e2`` / ``1.5E-3`` is one float literal,
+    # not a number followed by an identifier.  Equivalent spellings
+    # therefore tokenize to equal values (``1e2`` == ``100.0``), which
+    # keeps normalized-SQL plan-cache keys stable across them.  The
+    # suffix is consumed only when a digit follows, so ``1 e2`` (an
+    # aliased literal) still lexes as NUMBER + IDENT.
+    exponent = False
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            while j < n and text[j].isdigit():
+                j += 1
+            if not (j < n and (text[j].isalpha() or text[j] == "_")):
+                i = j
+                raw = text[start:i]
+                exponent = True
+    return (float(raw) if seen_dot or exponent else int(raw)), i

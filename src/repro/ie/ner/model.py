@@ -70,6 +70,14 @@ class SkipChainNerModel:
     #: Relations this model reads — DML deltas on them require repair.
     tables = (TOKEN_TABLE,)
 
+    #: Stored column carrying the factor-closed group id: no factor
+    #: crosses documents (skip edges are intra-document), so ``groups``
+    #: partitions the graph into independent components keyed by this
+    #: column.  The query planner's factor-graph pruning
+    #: (:func:`repro.mcmc.targeted.plan_restriction`) relies on this
+    #: declaration to restrict sampling to query-relevant documents.
+    group_column = "DOC_ID"
+
     def __init__(
         self,
         db: Database,

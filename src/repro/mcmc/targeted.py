@@ -17,19 +17,56 @@ the chain ergodic over the full state space.
 by analysing plan predicates: a variable bound to an uncertain field is
 relevant if some selection in the plan constrains that field's column
 (any tuple's membership can flip when the field changes).
+
+:func:`plan_restriction` goes further for models that declare
+factor-closed variable groups: it proves (conservatively) which groups
+can ever contribute an answer row, using only the *deterministic*
+predicates of the plan — conjuncts over columns MCMC never rewrites.
+The session uses the result to build a restricted proposer
+(:class:`MixtureProposer` with ``focus=1.0``) so sampling touches only
+the query-relevant subgraph, while untouched groups keep their initial
+world values.  Because groups are factor-closed (mutually independent
+components), freezing irrelevant groups is *exact* for any query whose
+answer provably depends on the relevant groups alone — which is
+precisely what the analysis certifies before pruning.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.db.ra.ast import PlanNode, Select
+from repro.db.ra.ast import (
+    AggLookup,
+    And,
+    ColumnRef,
+    CrossProduct,
+    Distinct,
+    Expr,
+    GroupAggregate,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+)
 from repro.errors import InferenceError
 from repro.fg.variables import FieldVariable, HiddenVariable
 from repro.mcmc.proposal import Proposal, ProposalDistribution
 
-__all__ = ["MixtureProposer", "relevant_variables"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (db ↛ mcmc)
+    from repro.db.database import Database
+
+__all__ = [
+    "MixtureProposer",
+    "PlanRestriction",
+    "plan_restriction",
+    "relevant_variables",
+]
 
 
 class MixtureProposer(ProposalDistribution):
@@ -105,3 +142,242 @@ def relevant_variables(
         and (extra_filter is None or extra_filter(variable))
     ]
     return relevant if relevant else list(variables)
+
+
+# ----------------------------------------------------------------------
+# Factor-graph pruning (planner composition)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanRestriction:
+    """A proved restriction of sampling to query-relevant groups.
+
+    ``variables`` is the union of the relevant groups' hidden
+    variables (in deterministic group order); ``fraction`` is the
+    share of groups kept, which the session uses to scale the thinning
+    interval so per-relevant-variable sampling effort is preserved.
+    """
+
+    variables: Tuple[HiddenVariable, ...]
+    groups: FrozenSet[Any]
+    total_groups: int
+
+    @property
+    def fraction(self) -> float:
+        return len(self.groups) / self.total_groups if self.total_groups else 1.0
+
+
+class _Unprunable(Exception):
+    """The analysis cannot certify a sound restriction; don't prune."""
+
+
+def plan_restriction(
+    plan: PlanNode, model: Any, db: "Database"
+) -> Optional[PlanRestriction]:
+    """The query-relevant group restriction for ``plan``, or ``None``.
+
+    Requirements on ``model`` (all optional — any miss returns
+    ``None``): ``tables`` naming exactly one uncertain table,
+    ``variables`` of :class:`~repro.fg.variables.FieldVariable` over
+    that table, ``groups`` mapping a group id to its factor-closed
+    variable list, and ``group_column`` naming the stored column that
+    carries the group id (e.g. ``DOC_ID`` for the NER skip-chain
+    model, whose factors never cross documents).
+
+    The analysis walks the plan bottom-up.  A scan of the uncertain
+    table filtered by *deterministic* conjuncts (no uncertain column
+    referenced) can only emit rows of the groups passing that filter —
+    in **every** possible world, because MCMC rewrites uncertain
+    columns only.  Joins between uncertain scans must equate the group
+    column (else group provenance mixes and the analysis bails);
+    branches of a ``UNION ALL`` union their groups.  The result is
+    ``None`` when nothing can be proved, when every group stays
+    relevant, or when no group survives (an empty certified answer is
+    not worth a restricted chain).
+    """
+    tables = getattr(model, "tables", None)
+    groups = getattr(model, "groups", None)
+    group_column = getattr(model, "group_column", None)
+    variables = getattr(model, "variables", None)
+    if not tables or len(tables) != 1 or not groups or not group_column:
+        return None
+    if not variables:
+        return None
+    table = str(tables[0]).lower()
+    if not all(
+        isinstance(v, FieldVariable) and v.table.lower() == table
+        for v in variables
+    ):
+        return None
+    uncertain = {v.attr.lower() for v in variables}
+    if str(group_column).lower() in uncertain:
+        return None  # the group id itself must be deterministic
+    universe: FrozenSet[Any] = frozenset(groups.keys())
+    if not universe:
+        return None
+    try:
+        scan_count, relevant = _relevant_groups(
+            plan, table, uncertain, str(group_column), db, universe
+        )
+    except _Unprunable:
+        return None
+    if scan_count == 0 or relevant is None or universe <= relevant:
+        return None
+    kept = sorted(relevant & universe, key=repr)
+    picked: List[HiddenVariable] = []
+    for group in kept:
+        picked.extend(groups[group])
+    if not picked:
+        return None
+    return PlanRestriction(tuple(picked), frozenset(kept), len(universe))
+
+
+def _relevant_groups(
+    node: PlanNode,
+    table: str,
+    uncertain: set,
+    group_column: str,
+    db: "Database",
+    universe: FrozenSet[Any],
+) -> Tuple[int, Optional[FrozenSet[Any]]]:
+    """``(uncertain_scan_count, groups)`` for the subtree at ``node``.
+
+    ``groups=None`` means "no deterministic filter found" (the
+    universe); raises :class:`_Unprunable` when group provenance
+    cannot be tracked through the subtree.
+    """
+    if isinstance(node, Scan):
+        if node.table_name.lower() == table:
+            return 1, None
+        return 0, None
+
+    if isinstance(node, Select):
+        child = node.child
+        if isinstance(child, Scan) and child.table_name.lower() == table:
+            return 1, _scan_groups(
+                child, node.predicate, uncertain, group_column, db
+            )
+        # A filter above a non-scan subtree is ignored: conservative
+        # (keeps a superset of the truly relevant groups).
+        return _relevant_groups(
+            child, table, uncertain, group_column, db, universe
+        )
+
+    if isinstance(node, (Project, Distinct, GroupAggregate, OrderBy, Limit)):
+        return _relevant_groups(
+            node.children()[0], table, uncertain, group_column, db, universe
+        )
+
+    if isinstance(node, Join):
+        left = _relevant_groups(
+            node.left, table, uncertain, group_column, db, universe
+        )
+        right = _relevant_groups(
+            node.right, table, uncertain, group_column, db, universe
+        )
+        if left[0] and right[0]:
+            if not _joins_on_group(node, group_column):
+                raise _Unprunable
+            return left[0] + right[0], _intersect(left[1], right[1])
+        return left[0] + right[0], left[1] if left[0] else right[1]
+
+    if isinstance(node, CrossProduct):
+        left = _relevant_groups(
+            node.left, table, uncertain, group_column, db, universe
+        )
+        right = _relevant_groups(
+            node.right, table, uncertain, group_column, db, universe
+        )
+        if left[0] and right[0]:
+            raise _Unprunable  # unconstrained pairing mixes groups
+        return left[0] + right[0], left[1] if left[0] else right[1]
+
+    if isinstance(node, UnionAll):
+        left = _relevant_groups(
+            node.left, table, uncertain, group_column, db, universe
+        )
+        right = _relevant_groups(
+            node.right, table, uncertain, group_column, db, universe
+        )
+        if left[0] and right[0]:
+            if left[1] is None or right[1] is None:
+                return left[0] + right[0], None
+            return left[0] + right[0], left[1] | right[1]
+        return left[0] + right[0], left[1] if left[0] else right[1]
+
+    if isinstance(node, AggLookup):
+        outer = _relevant_groups(
+            node.outer, table, uncertain, group_column, db, universe
+        )
+        inner = _relevant_groups(
+            node.inner, table, uncertain, group_column, db, universe
+        )
+        if outer[0] and inner[0]:
+            # The correlation key is arbitrary; proving group
+            # provenance across the lookup is out of scope.
+            raise _Unprunable
+        return outer[0] + inner[0], outer[1] if outer[0] else inner[1]
+
+    raise _Unprunable
+
+
+def _scan_groups(
+    scan: Scan,
+    predicate: Expr,
+    uncertain: set,
+    group_column: str,
+    db: "Database",
+) -> Optional[FrozenSet[Any]]:
+    """Group ids whose rows can pass ``predicate``'s deterministic
+    conjuncts (``None`` when there are none to exploit)."""
+    deterministic = [
+        conjunct
+        for conjunct in _conjuncts(predicate)
+        if not any(
+            col.name.rsplit(".", 1)[-1].lower() in uncertain
+            for col in conjunct.columns()
+        )
+    ]
+    if not deterministic:
+        return None
+    table = db.table(scan.table_name)
+    position = table.schema.position(group_column)
+    # Scan schemas mirror the stored schema column-for-column (alias
+    # prefixes change names, not positions), so predicates bound
+    # against the scan schema evaluate directly over stored rows.
+    compiled = [conjunct.bind(scan.schema) for conjunct in deterministic]
+    passing = set()
+    for row in table.rows():
+        if all(fn(row) for fn in compiled):
+            passing.add(row[position])
+    return frozenset(passing)
+
+
+def _conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for term in expr.terms:
+            out.extend(_conjuncts(term))
+        return out
+    return [expr]
+
+
+def _joins_on_group(join: Join, group_column: str) -> bool:
+    wanted = group_column.lower()
+
+    def base(col: ColumnRef) -> str:
+        return col.name.rsplit(".", 1)[-1].lower()
+
+    return any(
+        base(left) == wanted and base(right) == wanted
+        for left, right in join.equi_pairs
+    )
+
+
+def _intersect(
+    a: Optional[FrozenSet[Any]], b: Optional[FrozenSet[Any]]
+) -> Optional[FrozenSet[Any]]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b

@@ -290,7 +290,8 @@ class ReproServer:
             # repro-lint: disable=RL004 -- _route is an O(1) plan-cache
             # hit (parse only on miss) and must run under the engine
             # lock so (plan, version) stay atomic.
-            _, _, plan = self.engine._route(sql)
+            _, _, planned = self.engine._route(sql)
+            plan = planned.plan
             version, snapshot = self._committed_state()
             if self._replica is None or self._replica.version != version:
                 # Copy-on-write read replica: all deterministic reads
@@ -318,11 +319,16 @@ class ReproServer:
             # repro-lint: disable=RL004 -- _route is an O(1) plan-cache
             # hit (parse only on miss) and must run under the engine
             # lock so (fingerprint, version) stay atomic.
-            fingerprint, kind, plan = self.engine._route(sql)
+            fingerprint, kind, planned = self.engine._route(sql)
             if kind != "query":
                 raise EvaluationError(
                     f"only SELECT can be evaluated probabilistically ({kind})"
                 )
+            # Serving uses the planner-rewritten tree: the optimizer
+            # contract (same answers as the compiled tree) is exactly
+            # what lets the shared marginal cache stay keyed on the
+            # normalized SQL fingerprint alone.
+            plan = planned.plan
             version, snapshot = self._committed_state()
         columns = tuple(a.name for a in plan.schema.attributes) + ("probability",)
         cached = self.cache.get(fingerprint, version, min_samples=samples)

@@ -1,0 +1,98 @@
+"""Cache-key stability for numeric literals (ISSUE 10 satellite).
+
+``normalize_sql`` renders numeric literals from their token values, so
+equivalent spellings of the same value must share one cache key while
+literals with different result types stay apart.  Before the lexer
+learned scientific notation, ``1e2`` tokenized as NUMBER(1) + IDENT(e2)
+— a different key *and* a different parse — while ``1.0`` vs ``1.00``
+already folded.  These tests pin the full contract.
+"""
+
+import pytest
+
+from repro.api import connect, normalize_sql
+from repro.db.sql.lexer import TokenType, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def key(sql: str) -> str:
+    return normalize_sql(sql)
+
+
+class TestNumericKeyFolding:
+    def test_float_spellings_share_a_key(self):
+        assert key("SELECT A FROM T WHERE B = 1.0") == key(
+            "SELECT A FROM T WHERE B = 1.00"
+        )
+
+    def test_scientific_notation_folds_to_value(self):
+        assert key("SELECT A FROM T WHERE B = 1e2") == key(
+            "SELECT A FROM T WHERE B = 100.0"
+        )
+        assert key("SELECT A FROM T WHERE B = 1.5E-3") == key(
+            "SELECT A FROM T WHERE B = 0.0015"
+        )
+        assert key("SELECT A FROM T WHERE B = 1e0") == key(
+            "SELECT A FROM T WHERE B = 1.0"
+        )
+
+    def test_int_and_float_literals_stay_distinct(self):
+        # SELECT 1 yields an INT column, SELECT 1.0 a FLOAT one — the
+        # compiled plans are not interchangeable.
+        assert key("SELECT A FROM T WHERE B = 1") != key(
+            "SELECT A FROM T WHERE B = 1.0"
+        )
+
+    def test_negative_numbers_do_not_split_keys(self):
+        # The sign is a symbol token; spacing around it must not matter.
+        assert key("SELECT A FROM T WHERE B =-5") == key(
+            "SELECT A FROM T WHERE B = -5"
+        )
+        assert key("SELECT A - 1 FROM T") == key("SELECT A -1 FROM T")
+
+
+class TestLexerScientificNotation:
+    def test_exponent_is_one_float_token(self):
+        tokens = tokenize("1e2")
+        assert tokens[0].kind is TokenType.NUMBER
+        assert tokens[0].value == 100.0
+        assert tokens[1].kind is TokenType.EOF
+
+    def test_signed_exponent(self):
+        tokens = tokenize("2.5e-2")
+        assert tokens[0].value == 0.025
+
+    def test_spaced_e_stays_identifier(self):
+        # ``1 e2`` is a literal aliased to column e2, not 100.0.
+        tokens = tokenize("1 e2")
+        assert [t.kind for t in tokens[:2]] == [TokenType.NUMBER, TokenType.IDENT]
+        assert tokens[0].value == 1
+
+    def test_trailing_word_char_reverts(self):
+        # ``1e2x`` is not a number followed by garbage we half-consumed.
+        tokens = tokenize("1e2x")
+        assert tokens[0].kind is TokenType.NUMBER
+        assert tokens[0].value == 1
+        assert tokens[1].kind is TokenType.IDENT
+        assert tokens[1].value == "e2x"
+
+    def test_bare_e_stays_identifier_suffix(self):
+        tokens = tokenize("1e")
+        assert tokens[0].value == 1
+        assert tokens[1].value == "e"
+
+
+class TestEndToEndKeySharing:
+    def test_equivalent_literals_hit_the_same_cached_plan(self):
+        session = connect(name="keys")
+        session.execute_script(
+            "CREATE TABLE T (A INT PRIMARY KEY, B FLOAT); "
+            "INSERT INTO T VALUES (1, 100.0), (2, 0.5)"
+        )
+        baseline = session.cache_info().misses
+        assert list(session.execute("SELECT A FROM T WHERE B = 1e2")) == [(1,)]
+        assert list(session.execute("SELECT A FROM T WHERE B = 100.0")) == [(1,)]
+        assert list(session.execute("SELECT A FROM T WHERE B = 100.00")) == [(1,)]
+        info = session.cache_info()
+        assert info.misses == baseline + 1  # one compile, two hits
+        assert info.hits >= 2

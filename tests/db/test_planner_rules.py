@@ -1,0 +1,323 @@
+"""Unit tests of the planner's rewrite rules (ISSUE 10 tentpole).
+
+Each rule preserves the plan's multiset answer on every possible world;
+these tests check both the structural rewrite (the rule fired and
+produced the expected shape) and, for every rewritten tree, answer
+equality against the original under :func:`evaluate`.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.multiset import Multiset
+from repro.db.ra import (
+    DEFAULT_RULES,
+    PlannedQuery,
+    Planner,
+    default_planner,
+)
+from repro.db.ra.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    CrossProduct,
+    Join,
+    Literal,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+)
+from repro.db.ra.eval import evaluate
+from repro.db.ra.rules import (
+    CrossToJoin,
+    MergeSelects,
+    PushSelectBelowUnion,
+    PushSelectIntoJoin,
+    RemoveIdentityProject,
+    consolidate_scans,
+    prune_projections,
+)
+from repro.db.schema import Attribute, AttrType, Schema
+from repro.db.sql.compiler import plan_query
+
+
+def make_db():
+    db = Database("planner-test")
+    db.create_table(
+        Schema(
+            "R",
+            [
+                Attribute("ID", AttrType.INT),
+                Attribute("GRP", AttrType.INT),
+                Attribute("NAME", AttrType.STRING),
+                Attribute("VAL", AttrType.INT),
+            ],
+            key=("ID",),
+        )
+    )
+    db.create_table(
+        Schema(
+            "S",
+            [
+                Attribute("ID", AttrType.INT),
+                Attribute("GRP", AttrType.INT),
+                Attribute("TAG", AttrType.STRING),
+            ],
+            key=("ID",),
+        )
+    )
+    for i in range(20):
+        db.insert("R", (i, i % 4, f"n{i % 5}", i * 10))
+    for i in range(12):
+        db.insert("S", (i, i % 4, f"t{i % 3}"))
+    return db
+
+
+def scan(db, table, alias=None):
+    return Scan(db.table(table).schema, alias)
+
+
+def eq(left, right):
+    return Comparison("=", left, right)
+
+
+def answers_equal(db, plan_a, plan_b):
+    assert evaluate(plan_a, db) == evaluate(plan_b, db)
+
+
+class TestMergeSelects:
+    def test_nested_selects_merge_inner_first(self):
+        db = make_db()
+        inner = Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(1)))
+        outer = Select(inner, eq(ColumnRef("NAME"), Literal("n1")))
+        merged = MergeSelects().apply(outer)
+        assert isinstance(merged, Select)
+        assert isinstance(merged.child, Scan)
+        # Inner conjuncts come first: short-circuit guards written as
+        # ``inner AND outer`` keep their evaluation order.
+        assert isinstance(merged.predicate, And)
+        assert repr(merged.predicate.terms[0]) == repr(inner.predicate)
+        answers_equal(db, outer, merged)
+
+
+class TestPushSelectIntoJoin:
+    def test_side_conjuncts_move_below_join(self):
+        db = make_db()
+        join = Join(
+            scan(db, "R"),
+            scan(db, "S"),
+            eq(ColumnRef("R.GRP"), ColumnRef("S.GRP")),
+        )
+        predicate = And(
+            eq(ColumnRef("R.NAME"), Literal("n2")),
+            eq(ColumnRef("S.TAG"), Literal("t1")),
+        )
+        original = Select(join, predicate)
+        rewritten = PushSelectIntoJoin().apply(original)
+        assert isinstance(rewritten, Join)
+        assert isinstance(rewritten.left, Select)
+        assert isinstance(rewritten.right, Select)
+        answers_equal(db, original, rewritten)
+
+    def test_spanning_predicate_stays_above(self):
+        db = make_db()
+        join = Join(
+            scan(db, "R"),
+            scan(db, "S"),
+            eq(ColumnRef("R.GRP"), ColumnRef("S.GRP")),
+        )
+        original = Select(join, eq(ColumnRef("R.VAL"), ColumnRef("S.ID")))
+        assert PushSelectIntoJoin().apply(original) is None
+
+
+class TestCrossToJoin:
+    def test_equi_conjunct_becomes_join(self):
+        db = make_db()
+        cross = CrossProduct(scan(db, "R"), scan(db, "S"))
+        original = Select(
+            cross,
+            And(
+                eq(ColumnRef("R.GRP"), ColumnRef("S.GRP")),
+                eq(ColumnRef("R.NAME"), Literal("n0")),
+            ),
+        )
+        rewritten = CrossToJoin().apply(original)
+        assert isinstance(rewritten, Join)
+        answers_equal(db, original, rewritten)
+
+
+class TestPushSelectBelowUnion:
+    def test_same_position_pushes(self):
+        db = make_db()
+        union = UnionAll(scan(db, "R", "A"), scan(db, "R", "B"))
+        original = Select(union, eq(ColumnRef("GRP"), Literal(2)))
+        rewritten = PushSelectBelowUnion().apply(original)
+        assert isinstance(rewritten, UnionAll)
+        assert isinstance(rewritten.left, Select)
+        assert isinstance(rewritten.right, Select)
+        answers_equal(db, original, rewritten)
+
+    def test_position_mismatch_refuses(self):
+        db = make_db()
+        # Branch schemas are type-compatible but the named column sits
+        # at a different position in each branch; UnionAll output rows
+        # follow the LEFT schema, so pushing the predicate into the
+        # right branch would filter the wrong attribute.
+        left = Project(
+            scan(db, "S"),
+            [(ColumnRef("ID"), "A"), (ColumnRef("GRP"), "B")],
+        )
+        right = Project(
+            scan(db, "S"),
+            [(ColumnRef("GRP"), "X"), (ColumnRef("ID"), "A")],
+        )
+        original = Select(
+            UnionAll(left, right), eq(ColumnRef("A"), Literal(1))
+        )
+        assert PushSelectBelowUnion().apply(original) is None
+
+
+class TestRemoveIdentityProject:
+    def test_exact_identity_removed(self):
+        db = make_db()
+        base = scan(db, "R")
+        identity = Project(
+            base, [(ColumnRef(a.name), a.name) for a in base.schema.attributes]
+        )
+        assert RemoveIdentityProject().apply(identity) is base
+
+    def test_reorder_or_rename_kept(self):
+        db = make_db()
+        base = scan(db, "R")
+        renamed = Project(base, [(ColumnRef("R.ID"), "KEY")])
+        assert RemoveIdentityProject().apply(renamed) is None
+
+
+class TestProjectionPruning:
+    def test_narrows_join_inputs(self):
+        db = make_db()
+        join = Join(
+            scan(db, "R"),
+            scan(db, "S"),
+            eq(ColumnRef("R.GRP"), ColumnRef("S.GRP")),
+        )
+        original = Project(join, [(ColumnRef("R.NAME"), "NAME")])
+        fired = []
+        pruned = prune_projections(original, lambda rule, detail: fired.append(rule))
+        assert fired  # narrowing Projects were inserted
+        assert isinstance(pruned, Project)
+        narrowed = pruned.child
+        assert isinstance(narrowed, Join)
+        # Each side now exposes only the columns the join + output need.
+        assert len(narrowed.left.schema.attributes) == 2  # NAME, GRP
+        assert len(narrowed.right.schema.attributes) == 1  # GRP
+        answers_equal(db, original, pruned)
+
+    def test_root_schema_is_preserved(self):
+        db = make_db()
+        original = Project(
+            Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(3))),
+            [(ColumnRef("NAME"), "NAME"), (ColumnRef("VAL"), "VAL")],
+        )
+        pruned = prune_projections(original, lambda *_: None)
+        assert [a.name for a in pruned.schema.attributes] == ["NAME", "VAL"]
+        answers_equal(db, original, pruned)
+
+
+class TestScanConsolidation:
+    def test_identical_filtered_scans_share_one_node(self):
+        db = make_db()
+        # Two branches scanning the same table under the same alias
+        # with the same predicate — the shape decorrelated subqueries
+        # produce — collapse to one shared node object.
+        shared = UnionAll(
+            Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(1))),
+            Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(1))),
+        )
+        consolidated = consolidate_scans(shared, lambda *_: None)
+        assert consolidated.left is consolidated.right
+        answers_equal(db, shared, consolidated)
+
+    def test_different_predicates_stay_separate(self):
+        db = make_db()
+        plan = UnionAll(
+            Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(1))),
+            Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(2))),
+        )
+        consolidated = consolidate_scans(plan, lambda *_: None)
+        assert consolidated.left is not consolidated.right
+
+    def test_memoized_evaluate_computes_shared_subtree_once(self):
+        db = make_db()
+        filtered = Select(scan(db, "R"), eq(ColumnRef("GRP"), Literal(1)))
+        shared = UnionAll(filtered, filtered)
+        result = evaluate(shared, db)
+        assert isinstance(result, Multiset)
+        rows = evaluate(filtered, db)
+        assert len(result) == 2 * len(rows)
+
+
+class TestPlannerObject:
+    def test_planned_query_carries_trace_and_both_trees(self):
+        db = make_db()
+        raw = plan_query(
+            db,
+            "SELECT R.NAME FROM R, S WHERE R.GRP = S.GRP AND S.TAG = 't1'",
+        )
+        planned = default_planner().plan(raw)
+        assert isinstance(planned, PlannedQuery)
+        assert planned.raw is raw
+        assert planned.chosen(False) is raw
+        assert planned.chosen(True) is planned.plan
+        report = planned.explain()
+        assert "plan:" in report
+        if planned.trace:
+            assert "rewrites:" in report and "original:" in report
+        else:
+            assert "rewrites: (none)" in report
+
+    def test_planner_is_deterministic(self):
+        db = make_db()
+        sql = "SELECT R.NAME FROM R, S WHERE R.GRP = S.GRP AND R.VAL > 50"
+        a = default_planner().plan(plan_query(db, sql))
+        b = default_planner().plan(plan_query(db, sql))
+        assert a.plan.describe() == b.plan.describe()
+        assert [str(t) for t in a.trace] == [str(t) for t in b.trace]
+
+    def test_empty_rule_program_still_prunes(self):
+        db = make_db()
+        planner = Planner(rules=(), prune=True, consolidate=False)
+        raw = plan_query(db, "SELECT NAME FROM R WHERE GRP = 1")
+        planned = planner.plan(raw)
+        answers_equal(db, raw, planned.plan)
+
+    def test_default_rules_exported(self):
+        assert len(DEFAULT_RULES) >= 5
+
+
+SQL_BATTERY = [
+    "SELECT NAME FROM R WHERE GRP = 1",
+    "SELECT R.NAME, S.TAG FROM R, S WHERE R.GRP = S.GRP",
+    "SELECT R.NAME, S.TAG FROM R, S WHERE R.GRP = S.GRP AND S.TAG = 't1' AND R.VAL > 30",
+    "SELECT DISTINCT NAME FROM R",
+    "SELECT GRP, COUNT(*), SUM(VAL) FROM R GROUP BY GRP",
+    "SELECT GRP, COUNT(*) FROM R GROUP BY GRP HAVING COUNT(*) > 4",
+    "SELECT NAME, VAL FROM R ORDER BY VAL DESC LIMIT 3",
+    "SELECT NAME FROM R WHERE VAL > (SELECT AVG(VAL) FROM R)",
+    "SELECT R.NAME FROM R JOIN S ON R.GRP = S.GRP WHERE S.ID < 6",
+]
+
+
+class TestAnswerEquivalenceBattery:
+    @pytest.mark.parametrize("sql", SQL_BATTERY)
+    def test_optimized_plan_answers_match(self, sql):
+        db = make_db()
+        raw = plan_query(db, sql)
+        planned = default_planner().plan(raw)
+        from repro.db.ra.eval import evaluate_rows
+
+        assert evaluate_rows(planned.plan, db) == evaluate_rows(raw, db)
+        assert [a.name for a in planned.plan.schema.attributes] == [
+            a.name for a in raw.schema.attributes
+        ]

@@ -1,0 +1,141 @@
+"""Factor-graph pruning analysis and planner/analysis agreement
+(ISSUE 10 tentpole + satellite).
+
+Two contracts:
+
+* :func:`plan_restriction` must certify exactly the groups a query's
+  deterministic predicates allow, and bail (return ``None``) whenever
+  provenance cannot be proved;
+* the targeting analyses (``_constrained_columns`` /
+  :func:`relevant_variables`) must compute the same result on a
+  planner-rewritten tree as on the original compiled tree — rules
+  relocate predicates but never invent or drop constrained columns.
+"""
+
+import pytest
+
+from repro.db.ra import default_planner
+from repro.db.sql.compiler import plan_query
+from repro.ie.ner import NerPipeline
+from repro.mcmc.targeted import (
+    _constrained_columns,
+    plan_restriction,
+    relevant_variables,
+)
+
+
+def pipeline():
+    return NerPipeline.build(400, seed=3, steps_per_sample=20)
+
+
+NER_QUERIES = [
+    "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'",
+    "SELECT STRING, LABEL FROM TOKEN WHERE DOC_ID = 0",
+    "SELECT STRING FROM TOKEN WHERE DOC_ID = 0 AND LABEL='B-PER'",
+    "SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER' AND DOC_ID < 2",
+    "SELECT T1.STRING, T2.STRING FROM TOKEN T1, TOKEN T2 "
+    "WHERE T1.DOC_ID = T2.DOC_ID AND T1.LABEL='B-PER' AND T2.LABEL='I-PER'",
+    "SELECT DOC_ID, COUNT(*) FROM TOKEN GROUP BY DOC_ID",
+]
+
+
+class TestPlannerAnalysisAgreement:
+    @pytest.mark.parametrize("sql", NER_QUERIES)
+    def test_constrained_columns_invariant_under_planning(self, sql):
+        pipe = pipeline()
+        raw = plan_query(pipe.db, sql)
+        planned = default_planner().plan(raw)
+        assert _constrained_columns(planned.plan) == _constrained_columns(raw)
+
+    @pytest.mark.parametrize("sql", NER_QUERIES)
+    def test_relevant_variables_invariant_under_planning(self, sql):
+        pipe = pipeline()
+        raw = plan_query(pipe.db, sql)
+        planned = default_planner().plan(raw)
+        model = pipe.instance.model
+        a = relevant_variables(raw, model.variables)
+        b = relevant_variables(planned.plan, model.variables)
+        assert a == b
+
+
+class TestPlanRestriction:
+    def test_deterministic_doc_filter_prunes_to_one_group(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        plan = plan_query(pipe.db, "SELECT STRING, LABEL FROM TOKEN WHERE DOC_ID = 0")
+        restriction = plan_restriction(plan, model, pipe.db)
+        assert restriction is not None
+        assert restriction.groups == frozenset({0})
+        assert set(restriction.variables) == set(model.groups[0])
+        assert 0.0 < restriction.fraction < 1.0
+
+    def test_restriction_survives_planning(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        raw = plan_query(pipe.db, "SELECT STRING, LABEL FROM TOKEN WHERE DOC_ID = 0")
+        planned = default_planner().plan(raw)
+        a = plan_restriction(raw, model, pipe.db)
+        b = plan_restriction(planned.plan, model, pipe.db)
+        assert a is not None and b is not None
+        assert a.groups == b.groups
+        assert set(a.variables) == set(b.variables)
+
+    def test_uncertain_only_predicate_gives_no_restriction(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        plan = plan_query(pipe.db, "SELECT STRING FROM TOKEN WHERE LABEL='B-PER'")
+        assert plan_restriction(plan, model, pipe.db) is None
+
+    def test_unfiltered_scan_gives_no_restriction(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        plan = plan_query(pipe.db, "SELECT STRING FROM TOKEN")
+        assert plan_restriction(plan, model, pipe.db) is None
+
+    def test_group_equi_join_intersects_groups(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        plan = plan_query(
+            pipe.db,
+            "SELECT T1.STRING FROM TOKEN T1, TOKEN T2 "
+            "WHERE T1.DOC_ID = T2.DOC_ID AND T1.DOC_ID = 1 AND T2.DOC_ID < 3",
+        )
+        restriction = plan_restriction(plan, model, pipe.db)
+        assert restriction is not None
+        assert restriction.groups == frozenset({1})
+
+    def test_join_without_group_column_bails(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        # Both sides uncertain, joined on a non-group column: group
+        # provenance mixes, so the analysis must refuse to prune even
+        # though each side carries a deterministic filter.
+        plan = plan_query(
+            pipe.db,
+            "SELECT T1.STRING FROM TOKEN T1, TOKEN T2 "
+            "WHERE T1.TOK_ID = T2.TOK_ID AND T1.DOC_ID = 0 AND T2.DOC_ID = 1",
+        )
+        assert plan_restriction(plan, model, pipe.db) is None
+
+    def test_empty_group_set_gives_no_restriction(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        plan = plan_query(
+            pipe.db, "SELECT STRING FROM TOKEN WHERE DOC_ID = 999999"
+        )
+        # Zero relevant groups: the certified answer is empty in every
+        # world; a restricted chain has nothing to sample.
+        assert plan_restriction(plan, model, pipe.db) is None
+
+    def test_model_without_group_column_is_a_safe_noop(self):
+        pipe = pipeline()
+        model = pipe.instance.model
+        plan = plan_query(pipe.db, "SELECT STRING FROM TOKEN WHERE DOC_ID = 0")
+
+        class Stripped:
+            tables = model.tables
+            variables = model.variables
+            groups = model.groups
+            # no group_column attribute
+
+        assert plan_restriction(plan, Stripped(), pipe.db) is None
